@@ -1,0 +1,83 @@
+"""Ablation benches for the design choices DESIGN.md S5 calls out."""
+
+from conftest import run_once
+
+from repro.experiments.ablations import (
+    decomposition_ablation,
+    headroom_sweep,
+    ordering_ablation,
+    refinement_ablation,
+    replication_ablation,
+    sticky_delta_sweep,
+)
+from repro.experiments.common import small_scale
+
+
+def test_ablation_sticky_delta(benchmark, record_figure):
+    result = run_once(benchmark, sticky_delta_sweep, small_scale())
+    record_figure("ablation_sticky_delta", result.render())
+    # Bigger delta => less traffic shuffled, without losing coverage.
+    shuffles = [result.data[k][1] for k in sorted(result.data)]
+    assert result.data["delta=0.25"][1] <= result.data["delta=0.0"][1]
+    coverages = [cov for cov, _ in result.data.values()]
+    assert min(coverages) > 0.9
+
+
+def test_ablation_headroom(benchmark, record_figure):
+    result = run_once(benchmark, headroom_sweep, small_scale())
+    record_figure("ablation_headroom", result.render())
+    # The paper's 20% reservation absorbs the worst container failure.
+    _normal, worst = result.data["headroom=0.8"]
+    assert worst <= 1.0
+    # Reserving nothing leaves a thinner (or no) margin.
+    _n1, worst_full = result.data["headroom=1.0"]
+    assert worst_full >= worst - 1e-9
+
+
+def test_ablation_decomposition(benchmark, record_figure):
+    result = run_once(benchmark, decomposition_ablation)  # wide topology
+    record_figure("ablation_decomposition", result.render())
+    time_exhaustive, mru_exhaustive = result.data["exhaustive"]
+    time_decomposed, mru_decomposed = result.data["container-best-tor"]
+    # Same ballpark quality, meaningfully less work (Figure 5's point).
+    assert mru_decomposed <= mru_exhaustive * 1.3 + 0.05
+    assert time_decomposed < time_exhaustive
+
+
+def test_ablation_ordering(benchmark, record_figure):
+    result = run_once(benchmark, ordering_ablation, small_scale())
+    record_figure("ablation_ordering", result.render())
+    # The paper's decreasing-traffic order is at least as good as any
+    # alternative at coverage.
+    best = max(result.data.values())
+    assert result.data["traffic-desc"] >= best - 0.02
+
+
+def test_ablation_replication(benchmark, record_figure):
+    result = run_once(benchmark, replication_ablation, small_scale())
+    record_figure("ablation_replication", result.render())
+    mem1, exp1 = result.data["k=1"]
+    mem2, exp2 = result.data["k=2"]
+    # Replication trades memory for exposure.
+    assert mem2 > mem1
+    assert exp2 <= exp1
+
+
+def test_ablation_refinement(benchmark, record_figure):
+    result = run_once(benchmark, refinement_ablation, small_scale())
+    record_figure("ablation_refinement", result.render())
+    for before, after in result.data.values():
+        assert after <= before + 1e-12
+    # Refinement visibly repairs the weak initials.
+    ff_before, ff_after = result.data["first-fit"]
+    assert ff_after < ff_before
+
+
+def test_ablation_latency_first(benchmark, record_figure):
+    from repro.experiments.ablations import latency_first_ablation
+
+    result = run_once(benchmark, latency_first_ablation, small_scale())
+    record_figure("ablation_latency_first", result.render())
+    # Under capacity pressure, latency-first keeps (weakly) more
+    # latency-sensitive traffic on the microsecond path.
+    assert result.data["latency-first"] >= result.data["traffic-desc"] - 1e-9

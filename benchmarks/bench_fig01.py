@@ -1,0 +1,14 @@
+"""Figure 1: SMux latency CDFs and CPU utilization vs offered load."""
+
+from conftest import run_once
+
+from repro.experiments import fig01_smux_perf
+
+
+def test_fig01_smux_performance(benchmark, record_figure):
+    result = run_once(benchmark, fig01_smux_perf.run)
+    record_figure("fig01_smux_perf", result.render())
+    # Paper shape: sub-ms medians below saturation, explosion past 300K.
+    assert result.latency_cdfs[200_000.0].quantile(0.5) < 2e-3
+    assert result.latency_cdfs[450_000.0].quantile(0.5) > 5e-3
+    assert result.cpu_utilization[300_000.0] == 100.0

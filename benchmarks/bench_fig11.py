@@ -1,0 +1,18 @@
+"""Figure 11: HMux capacity vs saturated SMuxes."""
+
+from conftest import run_once
+
+from repro.experiments import fig11_hmux_capacity
+from repro.sim.scenarios import HMuxCapacityConfig
+
+
+def test_fig11_hmux_capacity(benchmark, record_figure):
+    config = HMuxCapacityConfig(phase_seconds=30.0)
+    result = run_once(benchmark, fig11_hmux_capacity.run, config)
+    record_figure("fig11_hmux_capacity", result.render())
+    series = result.series
+    t = config.phase_seconds
+    # SMux overload phase is >10x slower than the HMux phase.
+    overloaded = series.window(t, 2 * t).median_latency_s()
+    on_hmux = series.window(2 * t, 3 * t).median_latency_s()
+    assert overloaded > 10 * on_hmux

@@ -1,0 +1,13 @@
+"""Figure 12: VIP availability during HMux failure (~38 ms outage)."""
+
+from conftest import run_once
+
+from repro.experiments import fig12_failover
+
+
+def test_fig12_failover(benchmark, record_figure):
+    result = run_once(benchmark, fig12_failover.run)
+    record_figure("fig12_failover", result.render())
+    assert 0.02 <= result.observed_outage_s() <= 0.06
+    assert result.scenario["vip1-smux"].availability() == 1.0
+    assert result.scenario["vip2-healthy-hmux"].availability() == 1.0

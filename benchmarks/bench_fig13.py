@@ -1,0 +1,13 @@
+"""Figure 13: zero-loss VIP migration through the SMux stepping stone."""
+
+from conftest import run_once
+
+from repro.experiments import fig13_migration_avail
+
+
+def test_fig13_migration_availability(benchmark, record_figure):
+    result = run_once(benchmark, fig13_migration_avail.run)
+    record_figure("fig13_migration_avail", result.render())
+    for series in result.scenario.series.values():
+        assert series.availability() == 1.0
+    assert 0.2 <= result.first_migration_delay_s <= 1.0

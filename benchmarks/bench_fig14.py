@@ -1,0 +1,11 @@
+"""Figure 14: migration latency breakdown (FIB update dominates)."""
+
+from conftest import run_once
+
+from repro.experiments import fig14_latency_breakdown
+
+
+def test_fig14_latency_breakdown(benchmark, record_figure):
+    result = run_once(benchmark, fig14_latency_breakdown.run)
+    record_figure("fig14_latency_breakdown", result.render())
+    assert 0.7 <= result.fib_share() <= 0.95

@@ -1,0 +1,15 @@
+"""Figure 15: traffic and DIP distribution across VIPs."""
+
+from conftest import run_once
+
+from repro.experiments import fig15_trace
+from repro.experiments.common import small_scale
+
+
+def test_fig15_trace_characterization(benchmark, record_figure):
+    result = run_once(benchmark, fig15_trace.run, small_scale())
+    record_figure("fig15_trace", result.render())
+    # Elephants: top 10% of VIPs carry most of the bytes...
+    assert result.top_fraction_bytes(0.10) > 0.7
+    # ...while DIP counts are much closer to uniform.
+    assert result.top_fraction_dips(0.10) < result.top_fraction_bytes(0.10)

@@ -1,0 +1,16 @@
+"""Figure 17: median latency vs #SMuxes (Ananta curve, Duet point)."""
+
+from conftest import run_once
+
+from repro.experiments import fig17_latency_vs_smux
+from repro.experiments.common import small_scale
+
+
+def test_fig17_latency_vs_smuxes(benchmark, record_figure):
+    result = run_once(benchmark, fig17_latency_vs_smux.run, small_scale())
+    record_figure("fig17_latency_vs_smux", result.render())
+    # At Duet's fleet size Ananta is at least 10x slower; parity needs a
+    # much bigger fleet.
+    assert result.ananta_median_at(result.duet_n_smuxes) > 10 * result.duet_median_s
+    parity = result.ananta_parity_smuxes(tolerance=2.0)
+    assert parity is None or parity > 2 * result.duet_n_smuxes

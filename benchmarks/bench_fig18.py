@@ -1,0 +1,17 @@
+"""Figure 18: Duet vs Random VIP assignment."""
+
+from conftest import run_once
+
+from repro.experiments import fig18_duet_vs_random
+from repro.experiments.common import small_scale
+
+
+def test_fig18_duet_vs_random(benchmark, record_figure):
+    result = run_once(benchmark, fig18_duet_vs_random.run, small_scale())
+    record_figure("fig18_duet_vs_random", result.render())
+    # At high load Random strands capacity and needs a multiple of
+    # Duet's SMuxes (paper: 120-307% more).
+    heavy = result.points[-1]
+    assert heavy.extra_fraction > 1.0
+    assert heavy.duet_coverage > 0.9
+    assert heavy.random_coverage < heavy.duet_coverage

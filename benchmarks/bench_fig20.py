@@ -1,0 +1,26 @@
+"""Figure 20: migration strategies (Sticky / Non-sticky / One-time)."""
+
+from conftest import run_once
+
+from repro.experiments import fig20_migration
+from repro.experiments.common import small_scale
+from repro.workload.trace import TraceConfig
+
+
+def test_fig20_migration_strategies(benchmark, record_figure):
+    result = run_once(
+        benchmark, fig20_migration.run,
+        small_scale(), TraceConfig(n_epochs=10),
+    )
+    record_figure("fig20_migration", result.render())
+    sticky = result.tracks["sticky"]
+    nonsticky = result.tracks["non-sticky"]
+    onetime = result.tracks["one-time"]
+    # (a) Sticky matches Non-sticky coverage and beats stale One-time.
+    assert abs(sticky.mean_coverage - nonsticky.mean_coverage) < 0.05
+    assert sticky.mean_coverage >= onetime.mean_coverage - 0.02
+    # (b) Sticky shuffles an order of magnitude less traffic.
+    assert sticky.mean_shuffled < nonsticky.mean_shuffled / 2
+    # (c) SMux ranking: sticky <= non-sticky <= ananta-ish ordering.
+    assert result.smux_counts["sticky"] <= result.smux_counts["non-sticky"]
+    assert result.smux_counts["sticky"] < result.smux_counts["ananta"]

@@ -1,0 +1,135 @@
+"""Micro-benchmarks of the hot data structures and algorithms.
+
+Unlike the figure benches (one-shot experiments), these use
+pytest-benchmark's statistical timing: LPM lookups, the shared flow
+hash, HMux packet processing, ECMP path-fraction computation, and one
+greedy assignment pass.
+"""
+
+import random
+
+import pytest
+
+from repro.core.assignment import GreedyAssigner
+from repro.dataplane.hashing import ResilientHashTable, five_tuple_hash
+from repro.dataplane.hmux import HMux
+from repro.dataplane.packet import FiveTuple, PROTO_TCP, Packet, make_tcp_packet
+from repro.dataplane.smux import SMux
+from repro.net.addressing import LpmTable, Prefix
+from repro.net.routing import EcmpRouter
+from repro.net.topology import FatTreeParams, Topology
+from repro.workload.distributions import DipCountModel
+from repro.workload.vips import generate_population
+
+
+@pytest.fixture(scope="module")
+def packets():
+    rng = random.Random(1)
+    return [
+        make_tcp_packet(
+            0x08000000 + rng.randrange(1 << 20),
+            0x0A000001,
+            rng.randrange(1024, 65536),
+            80,
+        )
+        for _ in range(512)
+    ]
+
+
+def test_five_tuple_hash_throughput(benchmark, packets):
+    flows = [p.flow for p in packets]
+
+    def run():
+        acc = 0
+        for flow in flows:
+            acc ^= five_tuple_hash(flow)
+        return acc
+
+    benchmark(run)
+
+
+def test_lpm_lookup_throughput(benchmark):
+    table = LpmTable()
+    rng = random.Random(2)
+    for i in range(4096):
+        table.insert(Prefix(0x0A000000 + i, 32), i)
+    table.insert(Prefix.parse("10.0.0.0/12"), "aggregate")
+    probes = [0x0A000000 + rng.randrange(1 << 13) for _ in range(512)]
+
+    def run():
+        hits = 0
+        for addr in probes:
+            if table.lookup(addr) is not None:
+                hits += 1
+        return hits
+
+    assert benchmark(run) == len(probes)
+
+
+def test_hmux_pipeline_throughput(benchmark, packets):
+    hmux = HMux(0xAC100001)
+    hmux.program_vip(0x0A000001, [0x64000001 + i for i in range(32)])
+
+    def run():
+        for packet in packets:
+            hmux.process(packet)
+
+    benchmark(run)
+
+
+def test_smux_pipeline_throughput(benchmark, packets):
+    smux = SMux(0, 0x1E000001)
+    smux.set_vip(0x0A000001, [0x64000001 + i for i in range(32)])
+
+    def run():
+        for packet in packets:
+            smux.process(packet)
+
+    benchmark(run)
+
+
+def test_resilient_table_removal(benchmark):
+    def run():
+        table = ResilientHashTable(list(range(16)), n_slots=256)
+        table.remove_member(7)
+        return table
+
+    benchmark(run)
+
+
+def test_path_fractions(benchmark):
+    topology = Topology(FatTreeParams(
+        n_containers=8, tors_per_container=8,
+        aggs_per_container=2, n_cores=4,
+    ))
+    tors = topology.tors()
+    pairs = [(tors[i], tors[-(i + 1)]) for i in range(16)]
+
+    def run():
+        router = EcmpRouter(topology)  # fresh: no memoized fractions
+        total = 0
+        for src, dst in pairs:
+            total += len(router.path_fractions(src, dst))
+        return total
+
+    benchmark(run)
+
+
+def test_greedy_assignment_pass(benchmark):
+    topology = Topology(FatTreeParams(
+        n_containers=4, tors_per_container=4,
+        aggs_per_container=2, n_cores=4, servers_per_tor=12,
+    ))
+    population = generate_population(
+        topology, n_vips=100,
+        total_traffic_bps=topology.params.n_servers * 300e6,
+        dip_model=DipCountModel(median_large=20.0, max_dips=60),
+        seed=5,
+    )
+    demands = population.demands()
+
+    def run():
+        return GreedyAssigner(topology).assign(demands)
+
+    result = benchmark(run)
+    assert result.n_assigned == len(demands)

@@ -1,0 +1,38 @@
+"""Benchmark harness plumbing.
+
+Each ``bench_figXX.py`` regenerates one paper figure: it runs the
+experiment driver under pytest-benchmark (one round — these are
+experiments, not microbenchmarks), prints the same rows/series the paper
+reports, and archives the rendering under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def record_figure(results_dir):
+    """Print a figure's rendering and archive it."""
+
+    def _record(name: str, rendering: str) -> None:
+        print(f"\n{rendering}\n")
+        (results_dir / f"{name}.txt").write_text(rendering + "\n")
+
+    return _record
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Run the Figure 16 comparison at the paper's production scale.
+
+40 containers x (40 ToRs + 4 Aggs), 40 cores, ~50K servers, 30K VIPs,
+10 Tbps of VIP traffic — the dimensions of S8.1.  Pure Python, so expect
+minutes per assignment pass; pass ``--traffic-tbps`` to sweep other
+points (the paper uses 1.25 / 2.5 / 5 / 10).
+
+Run:  python examples/paper_scale_run.py [--traffic-tbps 10]
+"""
+
+import argparse
+import time
+
+from repro.core import (
+    GreedyAssigner,
+    ProvisioningConfig,
+    ananta_smux_count,
+    duet_provisioning,
+)
+from repro.dataplane import SMUX_CAPACITY_BPS, SMUX_CAPACITY_10G_BPS
+from repro.experiments.common import build_world, paper_scale_experiment
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--traffic-tbps", type=float, default=10.0)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    scale = paper_scale_experiment(args.seed).with_traffic(
+        args.traffic_tbps * 1e12
+    )
+    print("building the paper-scale world (S8.1)...")
+    started = time.monotonic()
+    topology, population = build_world(scale)
+    print(
+        f"  {topology}\n"
+        f"  {len(population)} VIPs, "
+        f"{population.total_traffic_bps / 1e12:.2f} Tbps, "
+        f"{population.total_dips()} DIPs "
+        f"[{time.monotonic() - started:.0f}s]"
+    )
+
+    print("running the greedy MRU assignment (S4.1)...")
+    started = time.monotonic()
+    assignment = GreedyAssigner(topology).assign(population.demands())
+    print(
+        f"  {assignment.n_assigned} VIPs on HMuxes "
+        f"({assignment.hmux_traffic_fraction():.1%} of traffic), "
+        f"MRU {assignment.mru:.3f} "
+        f"[{time.monotonic() - started:.0f}s]"
+    )
+
+    total = population.total_traffic_bps
+    for name, capacity in (("3.6G", SMUX_CAPACITY_BPS),
+                           ("10G", SMUX_CAPACITY_10G_BPS)):
+        duet = duet_provisioning(
+            assignment, topology,
+            ProvisioningConfig(smux_capacity_bps=capacity),
+        )
+        ananta = ananta_smux_count(total, capacity)
+        print(
+            f"SMuxes@{name}: Duet {duet.n_smuxes} "
+            f"(leftover {duet.leftover_bps / 1e9:.0f}G, "
+            f"failover {duet.worst_failover_bps / 1e9:.0f}G, "
+            f"worst case {duet.worst_scenario}) "
+            f"vs Ananta {ananta} -> "
+            f"{ananta / max(1, duet.n_smuxes):.1f}x reduction"
+        )
+
+
+if __name__ == "__main__":
+    main()

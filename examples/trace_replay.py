@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Trace replay: sticky VIP migration over a day-in-the-life trace.
+
+Replays a multi-epoch traffic trace (drift + flash crowds + VIP churn)
+under the three migration strategies of paper S8.6 and prints the
+Figure 20 series: HMux coverage, traffic shuffled, and the SMux fleet
+each strategy would need.
+
+Run:  python examples/trace_replay.py
+"""
+
+from repro.analysis import render_table
+from repro.core import (
+    NonStickyMigrator,
+    OneTimeMigrator,
+    StickyMigrator,
+    ananta_smux_count,
+    duet_provisioning,
+)
+from repro.net import FatTreeParams, Topology
+from repro.workload import TraceConfig, TraceGenerator, generate_population
+
+
+def main() -> None:
+    topology = Topology(FatTreeParams(
+        n_containers=4, tors_per_container=4,
+        aggs_per_container=2, n_cores=4, servers_per_tor=16,
+    ))
+    population = generate_population(
+        topology, n_vips=120,
+        total_traffic_bps=topology.params.n_servers * 450e6,
+        seed=5,
+    )
+    epochs = TraceGenerator(
+        population, TraceConfig(n_epochs=8), seed=5,
+    ).epochs()
+    print(f"trace: {len(epochs)} epochs x 600s, {len(population)} VIPs")
+
+    strategies = {
+        "sticky": StickyMigrator(topology),
+        "non-sticky": NonStickyMigrator(topology),
+        "one-time": OneTimeMigrator(topology),
+    }
+    rows = []
+    for name, migrator in strategies.items():
+        current = None
+        coverage = []
+        shuffled = []
+        peak_shuffle_bps = 0.0
+        for epoch in epochs:
+            current, plan = migrator.reassign(current, list(epoch.demands))
+            coverage.append(current.hmux_traffic_fraction())
+            if epoch.index > 0:
+                shuffled.append(plan.shuffled_fraction)
+                peak_shuffle_bps = max(
+                    peak_shuffle_bps, plan.traffic_shuffled_bps
+                )
+        provisioning = duet_provisioning(
+            current, topology, migration_peak_bps=peak_shuffle_bps,
+        )
+        rows.append((
+            name,
+            f"{sum(coverage) / len(coverage):.1%}",
+            f"{min(coverage):.1%}",
+            f"{sum(shuffled) / max(1, len(shuffled)):.2%}",
+            str(provisioning.n_smuxes),
+        ))
+    rows.append((
+        "ananta (all software)",
+        "0.0%", "0.0%", "-",
+        str(ananta_smux_count(max(e.total_traffic_bps for e in epochs))),
+    ))
+    print(render_table(
+        ("strategy", "mean coverage", "min coverage",
+         "mean traffic shuffled", "SMuxes needed"),
+        rows,
+        title="\nFigure 20-style comparison over the trace",
+    ))
+    print(
+        "\nSticky's rule — move a VIP only for a >=5% MRU gain — keeps "
+        "coverage as high as recomputing from scratch while shuffling a "
+        "fraction of the traffic."
+    )
+
+
+if __name__ == "__main__":
+    main()

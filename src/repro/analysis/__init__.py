@@ -1,0 +1,41 @@
+"""Analysis helpers: CDFs, summaries, plain-text reporting."""
+
+from repro.analysis.cdf import Cdf, lorenz_points
+from repro.analysis.export import (
+    export_json,
+    export_rows_csv,
+    export_series_csv,
+)
+from repro.analysis.plot import (
+    decimate,
+    histogram_line,
+    sparkline,
+    timeseries_line,
+)
+from repro.analysis.reporting import (
+    format_seconds,
+    format_si,
+    render_series,
+    render_table,
+)
+from repro.analysis.stats import Summary, crossover_index, geometric_mean, ratio
+
+__all__ = [
+    "Cdf",
+    "Summary",
+    "crossover_index",
+    "decimate",
+    "export_json",
+    "export_rows_csv",
+    "export_series_csv",
+    "histogram_line",
+    "sparkline",
+    "timeseries_line",
+    "format_seconds",
+    "format_si",
+    "geometric_mean",
+    "lorenz_points",
+    "ratio",
+    "render_series",
+    "render_table",
+]

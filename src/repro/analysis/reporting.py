@@ -1,0 +1,80 @@
+"""Plain-text rendering of experiment results.
+
+Every experiment driver returns structured rows; the benchmark harness
+prints them with these helpers so each bench regenerates the same
+rows/series the corresponding paper figure reports.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+
+def format_si(value: float, unit: str = "") -> str:
+    """Human-scale formatting: 3_600_000_000 -> '3.60G'."""
+    magnitude = abs(value)
+    for threshold, suffix in (
+        (1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "K"),
+    ):
+        if magnitude >= threshold:
+            return f"{value / threshold:.2f}{suffix}{unit}"
+    return f"{value:.2f}{unit}"
+
+
+def format_seconds(value_s: float) -> str:
+    """Latency formatting with the natural unit."""
+    magnitude = abs(value_s)
+    if magnitude >= 1.0:
+        return f"{value_s:.2f}s"
+    if magnitude >= 1e-3:
+        return f"{value_s * 1e3:.2f}ms"
+    if magnitude >= 1e-6:
+        return f"{value_s * 1e6:.1f}us"
+    return f"{value_s * 1e9:.0f}ns"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Fixed-width table; every cell stringified."""
+    materialized: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(
+        h.ljust(widths[i]) for i, h in enumerate(headers)
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append("  ".join(
+            cell.ljust(widths[i]) for i, cell in enumerate(row)
+        ))
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str,
+    points: Sequence[Tuple[float, float]],
+    *,
+    x_label: str = "x",
+    y_label: str = "y",
+    max_points: int = 24,
+) -> str:
+    """Compact (x, y) series dump, decimated to ``max_points``."""
+    if not points:
+        return f"{name}: (empty)"
+    step = max(1, len(points) // max_points)
+    sampled = list(points[::step])
+    if sampled[-1] != points[-1]:
+        sampled.append(points[-1])
+    body = "  ".join(f"({x:.4g}, {y:.4g})" for x, y in sampled)
+    return f"{name} [{x_label} -> {y_label}]: {body}"

@@ -1,0 +1,63 @@
+"""Summary statistics helpers shared by experiments and tests."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-style summary of a sample."""
+
+    count: int
+    mean: float
+    p10: float
+    median: float
+    p90: float
+    p99: float
+    maximum: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Summary":
+        if len(values) == 0:
+            raise ValueError("cannot summarize an empty sample")
+        arr = np.asarray(values, dtype=float)
+        return cls(
+            count=int(arr.size),
+            mean=float(arr.mean()),
+            p10=float(np.percentile(arr, 10)),
+            median=float(np.median(arr)),
+            p90=float(np.percentile(arr, 90)),
+            p99=float(np.percentile(arr, 99)),
+            maximum=float(arr.max()),
+        )
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """A guarded ratio (inf when the denominator is zero)."""
+    if denominator == 0:
+        return float("inf")
+    return numerator / denominator
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    arr = np.asarray(values, dtype=float)
+    if (arr <= 0).any():
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.log(arr).mean()))
+
+
+def crossover_index(
+    series_a: Sequence[float], series_b: Sequence[float]
+) -> int:
+    """First index where series_a <= series_b (e.g. where a latency curve
+    crosses a reference); -1 when it never does."""
+    if len(series_a) != len(series_b):
+        raise ValueError("series must be the same length")
+    for index, (a, b) in enumerate(zip(series_a, series_b)):
+        if a <= b:
+            return index
+    return -1

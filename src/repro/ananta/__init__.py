@@ -1,0 +1,9 @@
+"""Ananta software load balancer (the paper's baseline)."""
+
+from repro.ananta.loadbalancer import (
+    AnantaError,
+    AnantaLoadBalancer,
+    required_smuxes,
+)
+
+__all__ = ["AnantaError", "AnantaLoadBalancer", "required_smuxes"]

@@ -1,0 +1,139 @@
+"""Ananta: the pure software load balancer baseline (paper S2.1).
+
+Ananta is the comparator throughout Duet's evaluation: a three-tier
+design of router ECMP, a fleet of SMuxes each holding *all* VIP-to-DIP
+mappings, and per-server host agents.  Every SMux announces every VIP, so
+router ECMP sprays incoming VIP traffic evenly over the fleet, and DSR
+keeps return traffic off the muxes.
+
+This module materializes that system so examples and tests can run
+packets through it, and exposes the fleet-sizing rule used in Figure 16:
+enough SMuxes "such that no SMux receives traffic exceeding its
+capacity".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dataplane.hashing import five_tuple_hash
+from repro.dataplane.hostagent import HostAgent
+from repro.dataplane.packet import Packet
+from repro.dataplane.smux import SMUX_CAPACITY_BPS, SMux
+from repro.net.addressing import Prefix, format_ip
+from repro.net.bgp import MuxRef, VipRouteTable
+from repro.workload.vips import (
+    SMUX_AGGREGATES,
+    SMUX_POOL,
+    VipPopulation,
+    host_address,
+)
+
+
+class AnantaError(Exception):
+    """Invalid Ananta operation."""
+
+
+def required_smuxes(
+    total_traffic_bps: float,
+    smux_capacity_bps: float = SMUX_CAPACITY_BPS,
+    *,
+    redundancy: int = 1,
+) -> int:
+    """Fleet size so that even ECMP spreading keeps every SMux within
+    capacity, plus optional N+k redundancy."""
+    if total_traffic_bps < 0:
+        raise AnantaError("traffic must be non-negative")
+    base = math.ceil(total_traffic_bps / smux_capacity_bps)
+    return max(1, base) + max(0, redundancy - 1)
+
+
+class AnantaLoadBalancer:
+    """A materialized Ananta deployment over a VIP population."""
+
+    def __init__(
+        self,
+        population: VipPopulation,
+        n_smuxes: int,
+        *,
+        hash_seed: int = 0,
+    ) -> None:
+        if n_smuxes < 1:
+            raise AnantaError("need at least one SMux")
+        self.population = population
+        self.hash_seed = hash_seed
+        self.route_table = VipRouteTable()
+        self.smuxes: List[SMux] = [
+            SMux(i, SMUX_POOL.network + i, hash_seed=hash_seed)
+            for i in range(n_smuxes)
+        ]
+        self.host_agents: Dict[int, HostAgent] = {}
+        self._dip_to_server: Dict[int, int] = {}
+        for vip in population:
+            dip_addrs = [d.addr for d in vip.dips]
+            for smux in self.smuxes:
+                smux.set_vip(vip.addr, dip_addrs)
+            for dip in vip.dips:
+                agent = self.host_agents.get(dip.server_id)
+                if agent is None:
+                    agent = HostAgent(host_address(dip.server_id))
+                    agent.hash_seed = hash_seed
+                    self.host_agents[dip.server_id] = agent
+                agent.register_dip(dip.addr, vip.addr)
+                self._dip_to_server[dip.addr] = dip.server_id
+        for smux in self.smuxes:
+            ref = MuxRef.smux(smux.smux_id)
+            for aggregate in SMUX_AGGREGATES:
+                self.route_table.announce(aggregate, ref)
+
+    # -- data path ----------------------------------------------------------
+
+    def forward(self, packet: Packet) -> Tuple[Packet, int]:
+        """Route one packet: ECMP to an SMux, encapsulate, deliver via
+        the host agent.  Returns (delivered packet, smux id)."""
+        flow_hash = five_tuple_hash(packet.flow, self.hash_seed ^ 0xECC)
+        mux = self.route_table.resolve(packet.flow.dst_ip, flow_hash)
+        smux = next(s for s in self.smuxes if s.smux_id == mux.ident)
+        encapped = smux.process(packet)
+        if encapped is None:
+            raise AnantaError(
+                f"no mapping for VIP {format_ip(packet.flow.dst_ip)}"
+            )
+        server = self._dip_to_server[encapped.outer[0].dst_ip]
+        delivered = self.host_agents[server].receive(encapped)
+        return delivered, smux.smux_id
+
+    def fail_smux(self, smux_id: int) -> None:
+        """ECMP re-spreads over the survivors; VIPs stay available."""
+        alive = [s for s in self.smuxes if s.smux_id != smux_id]
+        if len(alive) == len(self.smuxes):
+            raise AnantaError(f"unknown SMux {smux_id}")
+        if not alive:
+            raise AnantaError("cannot fail the last SMux")
+        self.route_table.withdraw_all(MuxRef.smux(smux_id))
+        self.smuxes = alive
+
+    def smux_load_split(self, n_packets: int = 1000, seed: int = 7) -> Dict[int, int]:
+        """How ECMP spreads synthetic flows across the fleet (used to
+        check the even-spreading assumption of the sizing rule)."""
+        import random
+
+        from repro.dataplane.packet import make_udp_packet
+        from repro.workload.vips import CLIENT_POOL
+
+        rng = random.Random(seed)
+        counts: Dict[int, int] = {s.smux_id: 0 for s in self.smuxes}
+        vips = [v.addr for v in self.population]
+        for _ in range(n_packets):
+            packet = make_udp_packet(
+                CLIENT_POOL.network + rng.randrange(1 << 16),
+                vips[rng.randrange(len(vips))],
+                rng.randrange(1024, 65536),
+                80,
+            )
+            flow_hash = five_tuple_hash(packet.flow, self.hash_seed ^ 0xECC)
+            mux = self.route_table.resolve(packet.flow.dst_ip, flow_hash)
+            counts[mux.ident] += 1
+        return counts

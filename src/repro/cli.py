@@ -1,0 +1,318 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+::
+
+    python -m repro list                       # what can I run?
+    python -m repro figures fig16 fig18        # regenerate figures
+    python -m repro figures --all --scale small
+    python -m repro topology --containers 6 --tors 8
+    python -m repro quickstart --vips 100
+
+Installed as the ``duet-repro`` console script as well.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from repro.experiments import (
+    ALL_FIGURES,
+    medium_scale,
+    paper_scale_experiment,
+    small_scale,
+)
+
+_SCALES = {
+    "small": small_scale,
+    "medium": medium_scale,
+    "paper": paper_scale_experiment,
+}
+
+#: One-line description per figure (shown by ``list``).
+_DESCRIPTIONS = {
+    "fig01": "SMux latency CDFs and CPU utilization vs offered load",
+    "fig11": "HMux capacity: one switch vs three saturated SMuxes",
+    "fig12": "VIP availability during HMux failure (~38 ms outage)",
+    "fig13": "VIP availability during zero-loss migration",
+    "fig14": "migration latency breakdown (FIB update dominates)",
+    "fig15": "traffic and DIP distribution across VIPs (skew)",
+    "fig16": "#SMuxes needed: Duet vs Ananta across a traffic sweep",
+    "fig17": "median latency vs #SMuxes (Ananta curve, Duet point)",
+    "fig18": "Duet's MRU-greedy vs Random VIP assignment",
+    "fig19": "max link utilization under switch/container failures",
+    "fig20": "migration strategies: Sticky / Non-sticky / One-time",
+}
+
+#: Figures whose run() takes an ExperimentScale first argument.
+_SCALED_FIGURES = {"fig15", "fig16", "fig17", "fig18", "fig19", "fig20"}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="duet-repro",
+        description=(
+            "Duet (SIGCOMM 2014) reproduction: hybrid hardware/software "
+            "cloud load balancing"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_cmd = sub.add_parser("list", help="list available figures")
+
+    figures = sub.add_parser("figures", help="run paper-figure experiments")
+    figures.add_argument(
+        "names", nargs="*", metavar="FIG",
+        help=f"figure ids ({', '.join(sorted(ALL_FIGURES))})",
+    )
+    figures.add_argument("--all", action="store_true", help="run every figure")
+    figures.add_argument(
+        "--scale", choices=sorted(_SCALES), default="small",
+        help="experiment scale for the simulation figures",
+    )
+    figures.add_argument("--seed", type=int, default=0)
+    figures.add_argument(
+        "--export", metavar="DIR", default=None,
+        help="also write each figure's rows as CSV under DIR",
+    )
+
+    topo = sub.add_parser("topology", help="describe a container FatTree")
+    topo.add_argument("--containers", type=int, default=4)
+    topo.add_argument("--tors", type=int, default=4,
+                      help="ToRs per container")
+    topo.add_argument("--aggs", type=int, default=2,
+                      help="Aggs per container")
+    topo.add_argument("--cores", type=int, default=4)
+    topo.add_argument("--servers", type=int, default=16,
+                      help="servers per ToR")
+
+    quick = sub.add_parser("quickstart", help="mini end-to-end Duet demo")
+    quick.add_argument("--vips", type=int, default=60)
+    quick.add_argument("--seed", type=int, default=0)
+
+    workload = sub.add_parser(
+        "workload", help="generate / inspect workload files",
+    )
+    workload_sub = workload.add_subparsers(dest="workload_command",
+                                           required=True)
+    gen = workload_sub.add_parser(
+        "generate", help="synthesize a population (+ optional trace)",
+    )
+    gen.add_argument("--out", required=True, help="population JSON path")
+    gen.add_argument("--vips", type=int, default=200)
+    gen.add_argument("--tbps", type=float, default=0.2,
+                     help="total VIP traffic in Tbps")
+    gen.add_argument("--containers", type=int, default=6)
+    gen.add_argument("--tors", type=int, default=6)
+    gen.add_argument("--aggs", type=int, default=3)
+    gen.add_argument("--cores", type=int, default=6)
+    gen.add_argument("--servers", type=int, default=24)
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--trace-out", default=None,
+                     help="also synthesize a trace to this path")
+    gen.add_argument("--epochs", type=int, default=18)
+    info = workload_sub.add_parser("info", help="describe a workload file")
+    info.add_argument("path", help="population JSON path")
+    return parser
+
+
+def _cmd_list() -> int:
+    width = max(len(name) for name in _DESCRIPTIONS)
+    for name in sorted(_DESCRIPTIONS):
+        print(f"{name.ljust(width)}  {_DESCRIPTIONS[name]}")
+    return 0
+
+
+def _cmd_figures(
+    names: List[str],
+    run_all: bool,
+    scale_name: str,
+    seed: int,
+    export_dir: Optional[str] = None,
+) -> int:
+    if run_all:
+        names = sorted(ALL_FIGURES)
+    if not names:
+        print("no figures requested (use --all or name some)", file=sys.stderr)
+        return 2
+    unknown = [n for n in names if n not in ALL_FIGURES]
+    if unknown:
+        print(f"unknown figures: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    scale = _SCALES[scale_name](seed)
+    status = 0
+    for name in names:
+        module = ALL_FIGURES[name]
+        started = time.monotonic()
+        if name in _SCALED_FIGURES:
+            result = module.run(scale)
+        else:
+            result = module.run()
+        elapsed = time.monotonic() - started
+        print(result.render())
+        print(f"[{name} completed in {elapsed:.1f}s]\n")
+        if export_dir is not None and hasattr(result, "rows"):
+            import pathlib
+
+            from repro.analysis import export_rows_csv
+
+            rows = result.rows()
+            headers = tuple(f"col{i}" for i in range(len(rows[0]))) if rows else ()
+            path = export_rows_csv(
+                pathlib.Path(export_dir) / f"{name}.csv", headers, rows,
+            )
+            print(f"[rows exported to {path}]\n")
+    return status
+
+
+def _cmd_topology(containers: int, tors: int, aggs: int, cores: int,
+                  servers: int) -> int:
+    from repro.analysis import format_si
+    from repro.net.topology import FatTreeParams, Topology
+
+    try:
+        topology = Topology(FatTreeParams(
+            n_containers=containers,
+            tors_per_container=tors,
+            aggs_per_container=aggs,
+            n_cores=cores,
+            servers_per_tor=servers,
+        ))
+    except Exception as error:
+        print(f"invalid topology: {error}", file=sys.stderr)
+        return 2
+    p = topology.params
+    bisection = p.n_aggs * p.cores_per_agg * p.agg_core_gbps * 1e9
+    print(f"switches:  {topology.n_switches} "
+          f"({p.n_tors} ToR + {p.n_aggs} Agg + {p.n_cores} Core)")
+    print(f"links:     {topology.n_links} directional "
+          f"({p.tor_agg_gbps:g}G ToR-Agg, {p.agg_core_gbps:g}G Agg-Core)")
+    print(f"servers:   {p.n_servers}")
+    print(f"bisection: {format_si(bisection, 'bps')} toward the core")
+    spec = p.tables
+    print(f"per-switch tables: host {spec.host_table}, "
+          f"ECMP {spec.ecmp_table}, tunneling {spec.tunnel_table} "
+          f"(=> {spec.dip_capacity} DIPs/switch)")
+    return 0
+
+
+def _cmd_quickstart(n_vips: int, seed: int) -> int:
+    from repro.analysis import format_si
+    from repro.core import (
+        DuetController,
+        ananta_smux_count,
+        duet_provisioning,
+    )
+    from repro.net.topology import FatTreeParams, Topology
+    from repro.workload import generate_population
+
+    topology = Topology(FatTreeParams(
+        n_containers=4, tors_per_container=4,
+        aggs_per_container=2, n_cores=4, servers_per_tor=16,
+    ))
+    population = generate_population(
+        topology, n_vips=n_vips,
+        total_traffic_bps=topology.params.n_servers * 300e6,
+        seed=seed,
+    )
+    controller = DuetController(topology, population, n_smuxes=2)
+    assignment = controller.run_initial_assignment()
+    duet = duet_provisioning(assignment, topology)
+    ananta = ananta_smux_count(population.total_traffic_bps)
+    print(f"{topology}")
+    print(f"{len(population)} VIPs, "
+          f"{format_si(population.total_traffic_bps, 'bps')} of traffic")
+    print(f"HMux coverage: {assignment.hmux_traffic_fraction():.1%} "
+          f"(MRU {assignment.mru:.2f})")
+    print(f"SMuxes: Duet {duet.n_smuxes} vs Ananta {ananta} "
+          f"({ananta / max(1, duet.n_smuxes):.1f}x reduction)")
+    return 0
+
+
+def _cmd_workload_generate(args) -> int:
+    from repro.net.topology import FatTreeParams, Topology
+    from repro.workload import (
+        TraceConfig,
+        TraceGenerator,
+        generate_population,
+        save_population,
+        save_trace,
+    )
+
+    try:
+        topology = Topology(FatTreeParams(
+            n_containers=args.containers,
+            tors_per_container=args.tors,
+            aggs_per_container=args.aggs,
+            n_cores=args.cores,
+            servers_per_tor=args.servers,
+        ))
+    except Exception as error:
+        print(f"invalid topology: {error}", file=sys.stderr)
+        return 2
+    population = generate_population(
+        topology, n_vips=args.vips,
+        total_traffic_bps=args.tbps * 1e12,
+        seed=args.seed,
+    )
+    path = save_population(population, args.out)
+    print(f"population: {len(population)} VIPs, "
+          f"{population.total_dips()} DIPs -> {path}")
+    if args.trace_out:
+        epochs = TraceGenerator(
+            population, TraceConfig(n_epochs=args.epochs), seed=args.seed,
+        ).epochs()
+        trace_path = save_trace(epochs, args.trace_out)
+        print(f"trace: {len(epochs)} epochs -> {trace_path}")
+    return 0
+
+
+def _cmd_workload_info(path: str) -> int:
+    from repro.analysis import format_si
+    from repro.workload import SerializationError, load_population
+
+    try:
+        population = load_population(path)
+    except SerializationError as error:
+        print(f"cannot load workload: {error}", file=sys.stderr)
+        return 2
+    traffic = sorted(
+        (v.traffic_bps for v in population), reverse=True
+    )
+    topology = population.topology
+    print(f"topology:  {topology}")
+    print(f"VIPs:      {len(population)}")
+    print(f"DIPs:      {population.total_dips()}")
+    print(f"traffic:   {format_si(population.total_traffic_bps, 'bps')} "
+          f"(top VIP {format_si(traffic[0], 'bps')})")
+    top10 = sum(traffic[:max(1, len(traffic) // 10)])
+    print(f"skew:      top 10% of VIPs carry "
+          f"{top10 / max(1e-12, sum(traffic)):.0%} of the bytes")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "figures":
+        return _cmd_figures(
+            args.names, args.all, args.scale, args.seed, args.export,
+        )
+    if args.command == "topology":
+        return _cmd_topology(
+            args.containers, args.tors, args.aggs, args.cores, args.servers
+        )
+    if args.command == "quickstart":
+        return _cmd_quickstart(args.vips, args.seed)
+    if args.command == "workload":
+        if args.workload_command == "generate":
+            return _cmd_workload_generate(args)
+        return _cmd_workload_info(args.path)
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,115 @@
+"""Baseline VIP assignment strategies.
+
+The paper compares the MRU-greedy assignment against **Random** (S8.4,
+Figure 18): "a random strategy that selects the first feasible switch
+that does not violate the link or switch memory capacity ... a variant of
+FFD (First Fit Decreasing) as the VIPs are assigned in the sorted order
+of decreasing traffic volume".  Random needs 120%-307% more SMuxes
+because it packs VIPs poorly and strands capacity.
+
+``FirstFitAssigner`` is an extra ablation: first feasible switch in a
+*fixed* (index) order rather than a random order.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.assignment import (
+    Assignment,
+    AssignmentConfig,
+    GreedyAssigner,
+)
+from repro.net.topology import Topology
+from repro.workload.vips import VipDemand
+
+
+class _FeasibleFirstAssigner:
+    """Shared machinery: walk candidates in some order, take the first
+    placement that keeps every resource within capacity."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: AssignmentConfig = AssignmentConfig(),
+    ) -> None:
+        self.topology = topology
+        self.config = config
+        self._greedy = GreedyAssigner(topology, config)
+
+    def _candidate_order(
+        self, candidates: List[int], rng: random.Random
+    ) -> List[int]:
+        raise NotImplementedError
+
+    def assign(self, demands: Sequence[VipDemand]) -> Assignment:
+        rng = random.Random(self.config.seed)
+        greedy = self._greedy
+        link_util = np.zeros(self.topology.n_links)
+        mem_util = np.zeros(self.topology.n_switches)
+        placed: Dict[int, int] = {}
+        unassigned: List[int] = []
+        candidates = [
+            s.index for s in self.topology.switches
+            if s.index not in greedy.calculator.router.failed_switches
+        ]
+        ordered = sorted(demands, key=lambda d: (-d.traffic_bps, d.vip_id))
+        stopped = False
+        for demand in ordered:
+            if stopped or len(placed) >= greedy.host_table_budget:
+                unassigned.append(demand.vip_id)
+                continue
+            if demand.n_dips > greedy.dip_capacity:
+                unassigned.append(demand.vip_id)
+                continue
+            target: Optional[int] = None
+            for switch in self._candidate_order(candidates, rng):
+                mru = greedy.placement_mru(
+                    demand, switch, link_util, mem_util, global_max=0.0
+                )
+                if mru is not None and mru <= 1.0:
+                    target = switch
+                    break
+            if target is None:
+                unassigned.append(demand.vip_id)
+                if self.config.stop_on_first_failure:
+                    stopped = True
+                continue
+            greedy.calculator.apply(link_util, demand, target)
+            mem_util[target] += demand.n_dips / greedy.dip_capacity
+            placed[demand.vip_id] = target
+        return Assignment(
+            topology=self.topology,
+            config=self.config,
+            vip_to_switch=placed,
+            unassigned=unassigned,
+            link_utilization=link_util,
+            memory_utilization=mem_util,
+            demands={d.vip_id: d for d in demands},
+        )
+
+
+class RandomAssigner(_FeasibleFirstAssigner):
+    """The paper's Random baseline: first feasible switch in a random
+    order, VIPs in decreasing traffic order (FFD variant, S8.4)."""
+
+    def _candidate_order(
+        self, candidates: List[int], rng: random.Random
+    ) -> List[int]:
+        shuffled = list(candidates)
+        rng.shuffle(shuffled)
+        return shuffled
+
+
+class FirstFitAssigner(_FeasibleFirstAssigner):
+    """Ablation: first feasible switch in fixed index order (ToRs first).
+    Concentrates load even harder than Random."""
+
+    def _candidate_order(
+        self, candidates: List[int], rng: random.Random
+    ) -> List[int]:
+        return candidates

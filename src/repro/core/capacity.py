@@ -1,0 +1,143 @@
+"""What-if capacity planning on top of the assignment engine.
+
+Operators ask two questions the paper's machinery can answer directly:
+
+* *How much VIP traffic can this fabric load-balance in hardware?* —
+  find the largest traffic multiple at which the greedy assignment still
+  keeps HMux coverage above a target (binary search; assignment is
+  monotone in load for a fixed population shape).
+* *What breaks first?* — at the found ceiling, report the binding
+  resource (link class or switch memory) so the operator knows whether
+  to buy bandwidth or bigger tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.assignment import Assignment, AssignmentConfig, GreedyAssigner
+from repro.net.topology import SwitchKind, Topology
+from repro.workload.vips import VipDemand
+
+
+@dataclass(frozen=True)
+class CapacityReport:
+    """Result of a capacity search."""
+
+    max_traffic_bps: float
+    coverage_at_max: float
+    mru_at_max: float
+    binding_resource: str
+    iterations: int
+
+    def __str__(self) -> str:
+        return (
+            f"max HMux-served traffic ~{self.max_traffic_bps / 1e9:.1f} Gbps "
+            f"(coverage {self.coverage_at_max:.1%}, MRU {self.mru_at_max:.2f}, "
+            f"binding: {self.binding_resource})"
+        )
+
+
+def binding_resource(assignment: Assignment) -> str:
+    """Which resource class holds the network-wide peak utilization."""
+    topology = assignment.topology
+    link_peak = (
+        float(assignment.link_utilization.max())
+        if len(assignment.link_utilization) else 0.0
+    )
+    mem_peak = (
+        float(assignment.memory_utilization.max())
+        if len(assignment.memory_utilization) else 0.0
+    )
+    if mem_peak >= link_peak:
+        switch = int(np.argmax(assignment.memory_utilization))
+        return f"switch-memory({topology.switch(switch).name})"
+    link_index = int(np.argmax(assignment.link_utilization))
+    link = topology.links[link_index]
+    src = topology.switch(link.src).kind
+    dst = topology.switch(link.dst).kind
+    if SwitchKind.CORE in (src, dst):
+        tier = "agg-core"
+    else:
+        tier = "tor-agg"
+    return f"{tier}-link({link.src}->{link.dst})"
+
+
+def find_capacity(
+    topology: Topology,
+    demands: Sequence[VipDemand],
+    *,
+    coverage_target: float = 0.99,
+    config: AssignmentConfig = AssignmentConfig(),
+    tolerance: float = 0.02,
+    max_iterations: int = 20,
+) -> CapacityReport:
+    """Binary-search the largest traffic scaling with HMux coverage >=
+    ``coverage_target``.
+
+    ``demands`` fixes the population *shape* (relative volumes, DIP
+    placement, ingress); only the absolute scale is swept.  The search
+    brackets by doubling, then bisects until the bracket's relative width
+    falls under ``tolerance``.
+    """
+    if not demands:
+        raise ValueError("need at least one demand")
+    if not 0.0 < coverage_target <= 1.0:
+        raise ValueError("coverage_target must be in (0, 1]")
+    base_total = sum(d.traffic_bps for d in demands)
+    if base_total <= 0:
+        raise ValueError("demands carry no traffic")
+
+    def coverage_at(factor: float) -> Tuple[float, Assignment]:
+        scaled = [d.scaled(factor) for d in demands]
+        assignment = GreedyAssigner(topology, config).assign(scaled)
+        return assignment.hmux_traffic_fraction(), assignment
+
+    iterations = 0
+    # Bracket: grow until coverage drops below target (or give up high).
+    lo, hi = 0.0, 1.0
+    cov, best = coverage_at(hi)
+    iterations += 1
+    while cov >= coverage_target and iterations < max_iterations:
+        lo = hi
+        hi *= 2.0
+        cov, assignment = coverage_at(hi)
+        iterations += 1
+        if cov >= coverage_target:
+            best = assignment
+    if lo == 0.0:
+        # Even the base load misses the target; bisect down from 1.
+        lo, hi = 0.0, 1.0
+    # Bisect.
+    best_factor = lo
+    while (hi - lo) > tolerance * max(hi, 1e-9) and iterations < max_iterations:
+        mid = (lo + hi) / 2.0
+        cov, assignment = coverage_at(mid)
+        iterations += 1
+        if cov >= coverage_target:
+            lo = mid
+            best = assignment
+            best_factor = mid
+        else:
+            hi = mid
+    if best_factor == 0.0:
+        # Nothing met the target: report the base-load assignment.
+        cov, best = coverage_at(1.0)
+        iterations += 1
+        return CapacityReport(
+            max_traffic_bps=0.0,
+            coverage_at_max=cov,
+            mru_at_max=best.mru,
+            binding_resource=binding_resource(best),
+            iterations=iterations,
+        )
+    return CapacityReport(
+        max_traffic_bps=base_total * best_factor,
+        coverage_at_max=best.hmux_traffic_fraction(),
+        mru_at_max=best.mru,
+        binding_resource=binding_resource(best),
+        iterations=iterations,
+    )

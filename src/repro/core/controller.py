@@ -1,0 +1,636 @@
+"""The Duet controller and switch agents (paper S6, Figure 9).
+
+The controller is "the heart of Duet": it monitors the datacenter
+(topology, traffic, DIP health), runs the assignment engine (S4), and the
+assignment updater pushes VIP-DIP rules to switch agents (which program
+the ECMP/tunneling tables and fire BGP route updates) and to SMuxes
+(which announce the covering aggregates as backstop).
+
+This module wires the full functional system at object level: a
+:class:`DuetController` owns the route table, one :class:`SwitchAgent`
+(with a real :class:`~repro.dataplane.hmux.HMux`) per switch, the SMux
+fleet, and per-server :class:`~repro.dataplane.hostagent.HostAgent`\\ s —
+so integration tests and examples can push actual packets end-to-end
+through exactly the paper's mechanisms: LPM preferring HMux /32 routes,
+SMux fallback on withdrawal, the DIP-addition bounce through SMux, and
+resilient-hash DIP removal.
+
+Control-plane *timing* (convergence delays, FIB update latency) is
+modelled by :mod:`repro.sim`; operations here take effect immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.assignment import (
+    Assignment,
+    AssignmentConfig,
+    GreedyAssigner,
+)
+from repro.core.migration import (
+    MigrationPlan,
+    StepKind,
+    StickyMigrator,
+    diff_assignments,
+)
+from repro.dataplane.hmux import HMux, HMuxError
+from repro.dataplane.hostagent import HostAgent
+from repro.dataplane.packet import Packet
+from repro.dataplane.smux import SMux
+from repro.net.addressing import Prefix, format_ip
+from repro.net.bgp import MuxKind, MuxRef, VipRouteTable
+from repro.net.topology import Topology
+from repro.workload.vips import (
+    SMUX_AGGREGATES,
+    SMUX_POOL,
+    Dip,
+    Vip,
+    VipPopulation,
+    host_address,
+    switch_loopback,
+)
+
+
+class ControllerError(Exception):
+    """Invalid controller operation."""
+
+
+class SwitchAgent:
+    """The per-switch agent: programs the HMux and announces routes (S6).
+
+    "On every VIP change, the switch agent fires routing updates over
+    BGP" — here, synchronously against the shared route table.
+    """
+
+    def __init__(
+        self,
+        switch_index: int,
+        hmux: HMux,
+        route_table: VipRouteTable,
+    ) -> None:
+        self.switch_index = switch_index
+        self.hmux = hmux
+        self.route_table = route_table
+        self.mux_ref = MuxRef.hmux(switch_index)
+
+    def add_vip(
+        self,
+        vip: int,
+        encap_ips: Sequence[int],
+        weights: Optional[Sequence[float]] = None,
+    ) -> None:
+        """Program the tables, then announce the /32 (make-before-break)."""
+        self.hmux.program_vip(vip, encap_ips, weights)
+        self.route_table.announce(Prefix.host(vip), self.mux_ref)
+
+    def remove_vip(self, vip: int) -> None:
+        """Withdraw the /32 first (traffic falls to SMux), then free the
+        tables — the stepping-stone order of S4.2."""
+        self.route_table.withdraw(Prefix.host(vip), self.mux_ref)
+        self.hmux.remove_vip(vip)
+
+    def add_vip_port_rules(
+        self,
+        vip: int,
+        port_pools: Sequence[Tuple[int, Sequence[int]]],
+    ) -> None:
+        """Install the per-port ACL pools alongside the VIP (Figure 8)."""
+        for port, pool in port_pools:
+            self.hmux.program_vip_port(vip, port, list(pool))
+
+    def remove_vip_port_rules(
+        self,
+        vip: int,
+        ports: Sequence[int],
+    ) -> None:
+        for port in ports:
+            self.hmux.remove_vip_port(vip, port)
+
+    def remove_dip(self, vip: int, encap_ip: int) -> int:
+        return self.hmux.remove_dip(vip, encap_ip)
+
+    def fail(self) -> int:
+        """Switch death: all announcements disappear via BGP withdrawals
+        from the neighbours (S5.1).  The HMux state is lost with the
+        switch.  Returns the number of routes withdrawn."""
+        return self.route_table.withdraw_all(self.mux_ref)
+
+
+@dataclass
+class VipRecord:
+    """Controller-side state for one VIP."""
+
+    vip: Vip
+    dips: List[Dip]
+    assigned_switch: Optional[int] = None  # None: SMux-only
+
+    @property
+    def addr(self) -> int:
+        return self.vip.addr
+
+    def dip_addrs(self) -> List[int]:
+        return [d.addr for d in self.dips]
+
+    def encap_targets(self, virtualized: bool) -> List[int]:
+        """What the muxes encapsulate toward: DIP addresses on physical
+        clusters, host addresses (one entry per VM, Figure 6) when the
+        cluster is virtualized and switches cannot double-encapsulate."""
+        if virtualized:
+            return [host_address(d.server_id) for d in self.dips]
+        return self.dip_addrs()
+
+    def encap_weights(self) -> Optional[List[float]]:
+        """WCMP weights for heterogeneous pools (S5.2); None when all
+        DIPs are equal."""
+        weights = [d.weight for d in self.dips]
+        if all(w == weights[0] for w in weights):
+            return None
+        return weights
+
+
+class DuetController:
+    """The central controller plus the materialized data plane."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        population: VipPopulation,
+        *,
+        n_smuxes: int = 2,
+        config: AssignmentConfig = AssignmentConfig(),
+        hash_seed: int = 0,
+        virtualized: bool = False,
+    ) -> None:
+        if n_smuxes < 1:
+            raise ControllerError("need at least one SMux")
+        self.topology = topology
+        self.population = population
+        self.config = config
+        self.hash_seed = hash_seed
+        self.virtualized = virtualized
+        self.route_table = VipRouteTable()
+        self.assignment: Optional[Assignment] = None
+
+        self.switch_agents: Dict[int, SwitchAgent] = {
+            s.index: SwitchAgent(
+                s.index,
+                HMux(
+                    switch_ip=switch_loopback(s.index),
+                    tables=s.tables,
+                    hash_seed=hash_seed,
+                ),
+                self.route_table,
+            )
+            for s in topology.switches
+        }
+        self.smuxes: List[SMux] = [
+            SMux(i, SMUX_POOL.network + i, hash_seed=hash_seed)
+            for i in range(n_smuxes)
+        ]
+        self.host_agents: Dict[int, HostAgent] = {}
+        self._dip_to_server: Dict[int, int] = {}
+        self._records: Dict[int, VipRecord] = {}
+        self._failed_switches: Set[int] = set()
+        self._snat_managers: Dict[int, object] = {}
+
+        for vip in population:
+            self._register_vip(vip)
+        self._announce_smux_aggregates()
+
+    # -- bootstrap --------------------------------------------------------------
+
+    def _register_vip(self, vip: Vip) -> None:
+        if vip.port_pools and self.virtualized:
+            raise ControllerError(
+                "port-based pools are not supported on virtualized "
+                "clusters (the ACL pools address DIPs directly)"
+            )
+        record = VipRecord(vip=vip, dips=list(vip.dips))
+        self._records[vip.addr] = record
+        for dip in vip.dips:
+            self._attach_dip(vip.addr, dip)
+        for smux in self.smuxes:
+            smux.set_vip(
+                vip.addr,
+                record.encap_targets(self.virtualized),
+                record.encap_weights(),
+            )
+            for port, pool in vip.port_pools:
+                smux.set_vip_port(vip.addr, port, list(pool))
+
+    def _attach_dip(self, vip_addr: int, dip: Dip) -> None:
+        agent = self.host_agents.get(dip.server_id)
+        if agent is None:
+            agent = HostAgent(host_address(dip.server_id))
+            agent.hash_seed = self.hash_seed
+            self.host_agents[dip.server_id] = agent
+        agent.register_dip(dip.addr, vip_addr)
+        self._dip_to_server[dip.addr] = dip.server_id
+
+    def _announce_smux_aggregates(self) -> None:
+        """"Each SMux announces all the VIPs" via aggregate prefixes, so
+        LPM prefers any live HMux /32 (S3.3.1)."""
+        for smux in self.smuxes:
+            ref = MuxRef.smux(smux.smux_id)
+            for aggregate in SMUX_AGGREGATES:
+                self.route_table.announce(aggregate, ref)
+
+    # -- assignment lifecycle ------------------------------------------------------
+
+    def run_initial_assignment(self) -> Assignment:
+        """Compute and install the first VIP-switch assignment."""
+        assigner = GreedyAssigner(self.topology, self.config)
+        assignment = assigner.assign(self.population.demands())
+        self._install_assignment(assignment)
+        return assignment
+
+    def apply_assignment(self, new: Assignment) -> MigrationPlan:
+        """Migrate from the current assignment to ``new`` (two-phase,
+        through the SMux stepping stone)."""
+        plan = diff_assignments(self.assignment, new)
+        self._execute_plan(plan, new)
+        return plan
+
+    def _install_assignment(self, assignment: Assignment) -> None:
+        plan = diff_assignments(self.assignment, assignment)
+        self._execute_plan(plan, assignment)
+
+    def _execute_plan(self, plan: MigrationPlan, new: Assignment) -> None:
+        vips_by_id = {v.vip_id: v for v in self.population}
+        for step in plan.steps:
+            vip = vips_by_id.get(step.vip_id)
+            if vip is None:
+                continue
+            record = self._records[vip.addr]
+            agent = self.switch_agents[step.switch_index]
+            if step.kind is StepKind.WITHDRAW:
+                if agent.hmux.has_vip(vip.addr):
+                    if vip.port_pools:
+                        agent.remove_vip_port_rules(
+                            vip.addr, [port for port, _ in vip.port_pools]
+                        )
+                    agent.remove_vip(vip.addr)
+                record.assigned_switch = None
+            else:
+                agent.add_vip(
+                    vip.addr,
+                    record.encap_targets(self.virtualized),
+                    record.encap_weights(),
+                )
+                if vip.port_pools:
+                    agent.add_vip_port_rules(vip.addr, vip.port_pools)
+                record.assigned_switch = step.switch_index
+        self.assignment = new
+
+    # -- VIP lifecycle (S5.2) ---------------------------------------------------------
+
+    def add_vip(self, vip: Vip) -> None:
+        """"A new VIP is first added to SMuxes, and then the migration
+        algorithm decides the right destination." """
+        if vip.addr in self._records:
+            raise ControllerError(f"VIP {format_ip(vip.addr)} already exists")
+        self._register_vip(vip)
+        self.population.vips.append(vip)
+        self.population._by_addr[vip.addr] = vip
+
+    def remove_vip(self, vip_addr: int) -> None:
+        """Remove from its HMux (if any) and from all SMuxes."""
+        record = self._records.pop(vip_addr, None)
+        if record is None:
+            raise ControllerError(f"VIP {format_ip(vip_addr)} unknown")
+        if record.assigned_switch is not None:
+            self.switch_agents[record.assigned_switch].remove_vip(vip_addr)
+        for smux in self.smuxes:
+            if smux.has_vip(vip_addr):
+                smux.remove_vip(vip_addr)
+        for dip in record.dips:
+            agent = self.host_agents[dip.server_id]
+            agent.unregister_dip(dip.addr)
+            del self._dip_to_server[dip.addr]
+        self.population.vips = [
+            v for v in self.population.vips if v.addr != vip_addr
+        ]
+        self.population._by_addr.pop(vip_addr, None)
+
+    def add_dip(self, vip_addr: int, dip: Dip) -> None:
+        """DIP addition with the SMux bounce (S5.2): resilient hashing
+        cannot protect additions, so the VIP is withdrawn to SMux, the
+        DIP set updated, then the VIP is re-programmed on its HMux."""
+        record = self._require(vip_addr)
+        switch = record.assigned_switch
+        if switch is not None:
+            # Step 1: withdraw -> SMuxes take over with connection state.
+            self.switch_agents[switch].remove_vip(vip_addr)
+            record.assigned_switch = None
+        # Step 2: add the DIP everywhere.
+        record.dips.append(dip)
+        self._attach_dip(vip_addr, dip)
+        for smux in self.smuxes:
+            smux.set_vip(
+                vip_addr,
+                record.encap_targets(self.virtualized),
+                record.encap_weights(),
+            )
+        # Step 3: move the VIP back to its HMux.
+        if switch is not None and switch not in self._failed_switches:
+            self.switch_agents[switch].add_vip(
+                vip_addr,
+                record.encap_targets(self.virtualized),
+                record.encap_weights(),
+            )
+            record.assigned_switch = switch
+
+    def remove_dip(self, vip_addr: int, dip_addr: int) -> None:
+        """DIP removal / failure (S5.1-S5.2): resilient hashing on the
+        HMux keeps other connections intact; SMuxes drop only the dead
+        DIP's connections."""
+        record = self._require(vip_addr)
+        matching = [d for d in record.dips if d.addr == dip_addr]
+        if not matching:
+            raise ControllerError(
+                f"{format_ip(dip_addr)} is not a DIP of {format_ip(vip_addr)}"
+            )
+        if len(record.dips) == 1:
+            raise ControllerError(
+                f"cannot remove the last DIP of {format_ip(vip_addr)}"
+            )
+        dip = matching[0]
+        record.dips.remove(dip)
+        if record.assigned_switch is not None:
+            target = (
+                host_address(dip.server_id) if self.virtualized
+                else dip.addr
+            )
+            self.switch_agents[record.assigned_switch].remove_dip(
+                vip_addr, target
+            )
+        for smux in self.smuxes:
+            smux.set_vip(
+                vip_addr,
+                record.encap_targets(self.virtualized),
+                record.encap_weights(),
+            )
+        agent = self.host_agents[dip.server_id]
+        agent.unregister_dip(dip.addr)
+        del self._dip_to_server[dip.addr]
+
+    def dip_failure(self, vip_addr: int, dip_addr: int) -> None:
+        """"The Duet controller monitors DIP health and removes failed
+        DIP from the set of DIPs for the corresponding VIP." """
+        self.remove_dip(vip_addr, dip_addr)
+
+    # -- failures -------------------------------------------------------------------
+
+    def fail_switch(self, switch_index: int) -> List[int]:
+        """An HMux dies: its routes are withdrawn and its VIPs fall back
+        to the SMuxes (converged state).  Returns the affected VIPs."""
+        if switch_index in self._failed_switches:
+            return []
+        self._failed_switches.add(switch_index)
+        agent = self.switch_agents[switch_index]
+        affected = agent.hmux.vips()
+        agent.fail()
+        for vip_addr in affected:
+            self._records[vip_addr].assigned_switch = None
+        return affected
+
+    def fail_smux(self, smux_id: int) -> None:
+        """"SMux failure ... Switches detect SMux failure through BGP,
+        and use ECMP to direct traffic to other SMuxes." """
+        alive = [s for s in self.smuxes if s.smux_id != smux_id]
+        if len(alive) == len(self.smuxes):
+            raise ControllerError(f"unknown SMux {smux_id}")
+        if not alive:
+            raise ControllerError("cannot fail the last SMux")
+        ref = MuxRef.smux(smux_id)
+        self.route_table.withdraw_all(ref)
+        self.smuxes = alive
+
+    # -- end-to-end forwarding (for tests/examples) ------------------------------------
+
+    def forward(self, packet: Packet) -> Tuple[Packet, MuxRef]:
+        """Emulate the fabric: resolve the VIP via LPM, run the packet
+        through the selected mux, deliver through the host agent.
+
+        Returns (packet as the server sees it, the mux that handled it).
+        """
+        from repro.dataplane.hashing import five_tuple_hash
+
+        flow_hash = five_tuple_hash(packet.flow, self.hash_seed ^ 0xECC)
+        mux = self.route_table.resolve(packet.flow.dst_ip, flow_hash)
+        if mux.kind is MuxKind.HMUX:
+            result = self.switch_agents[mux.ident].hmux.process(packet)
+            encapped = result.packet
+            if not encapped.is_encapsulated:
+                raise ControllerError(
+                    f"HMux {mux.ident} had no entry for "
+                    f"{format_ip(packet.flow.dst_ip)}"
+                )
+        else:
+            smux = next(
+                s for s in self.smuxes if s.smux_id == mux.ident
+            )
+            maybe = smux.process(packet)
+            if maybe is None:
+                raise ControllerError(
+                    f"SMux {mux.ident} dropped packet for "
+                    f"{format_ip(packet.flow.dst_ip)}"
+                )
+            encapped = maybe
+        target = encapped.outer[0].dst_ip
+        if self.virtualized:
+            from repro.workload.vips import HOST_POOL
+
+            if not HOST_POOL.contains(target):
+                raise ControllerError(
+                    "virtualized cluster produced a non-host encap target"
+                )
+            server = target - HOST_POOL.network
+        else:
+            server = self._dip_to_server[target]
+        delivered = self.host_agents[server].receive(encapped)
+        return delivered, mux
+
+    def rebalance(
+        self,
+        demands: Optional[List] = None,
+        *,
+        delta: Optional[float] = None,
+    ) -> MigrationPlan:
+        """Periodic sticky re-assignment (S4.2): "From time to time, Duet
+        needs to re-calculate the VIP assignment to see if it can handle
+        more VIP traffic through HMux and/or reduce the MRU."
+
+        Uses the latest measured/configured demands, excludes failed
+        switches from the candidate set, and executes the two-phase
+        migration through the SMux stepping stone.
+        """
+        from repro.core.migration import DEFAULT_STICKY_DELTA
+        from repro.net.routing import EcmpRouter
+
+        if demands is None:
+            demands = [v.demand() for v in self.population]
+        router = EcmpRouter(
+            self.topology, failed_switches=self._failed_switches,
+        )
+        migrator = StickyMigrator(
+            self.topology,
+            self.config,
+            delta=delta if delta is not None else DEFAULT_STICKY_DELTA,
+            router=router,
+        )
+        new, plan = migrator.reassign(self.assignment, demands)
+        self._execute_plan(plan, new)
+        return plan
+
+    # -- SNAT management (S5.2) ------------------------------------------------------
+
+    def enable_snat(self, vip_addr: int) -> None:
+        """Set up SNAT for a VIP: carve disjoint port ranges, compute the
+        ECMP slots pointing at each DIP, and push a
+        :class:`~repro.dataplane.hostagent.SnatConfig` to every HA."""
+        from repro.core.snat import SnatPortManager, slots_of_dip
+
+        record = self._require(vip_addr)
+        manager = self._snat_managers.get(vip_addr)
+        if manager is None:
+            manager = SnatPortManager(vip_addr)
+            self._snat_managers[vip_addr] = manager
+        dip_addrs = record.dip_addrs()
+        for dip in record.dips:
+            from repro.dataplane.hostagent import SnatConfig
+
+            port_range = manager.allocate(dip.addr)
+            self.host_agents[dip.server_id].configure_snat(
+                dip.addr,
+                SnatConfig(
+                    vip=vip_addr,
+                    n_slots=len(dip_addrs),
+                    my_slots=slots_of_dip(
+                        dip_addrs, dip.addr, hash_seed=self.hash_seed
+                    ),
+                    port_range=port_range.as_tuple(),
+                    hash_seed=self.hash_seed,
+                ),
+            )
+
+    def grant_snat_range(self, vip_addr: int, dip_addr: int):
+        """Hand a port-exhausted HA another disjoint range ("If an HA
+        runs out of available ports, it receives another set from the
+        Duet controller", S5.2).  Returns the new range and re-pushes the
+        config."""
+        from repro.core.snat import SnatError, slots_of_dip
+        from repro.dataplane.hostagent import SnatConfig
+
+        record = self._require(vip_addr)
+        manager = self._snat_managers.get(vip_addr)
+        if manager is None:
+            raise ControllerError(
+                f"SNAT not enabled for VIP {format_ip(vip_addr)}"
+            )
+        matching = [d for d in record.dips if d.addr == dip_addr]
+        if not matching:
+            raise ControllerError(
+                f"{format_ip(dip_addr)} is not a DIP of {format_ip(vip_addr)}"
+            )
+        dip = matching[0]
+        port_range = manager.allocate(dip_addr)
+        dip_addrs = record.dip_addrs()
+        self.host_agents[dip.server_id].configure_snat(
+            dip.addr,
+            SnatConfig(
+                vip=vip_addr,
+                n_slots=len(dip_addrs),
+                my_slots=slots_of_dip(
+                    dip_addrs, dip.addr, hash_seed=self.hash_seed
+                ),
+                port_range=port_range.as_tuple(),
+                hash_seed=self.hash_seed,
+            ),
+        )
+        return port_range
+
+    # -- datacenter monitoring (S6, Figure 9) -------------------------------------------
+
+    def collect_traffic_reports(self) -> Dict[int, int]:
+        """Aggregate per-VIP byte counters from every host agent — the
+        "traffic metering" feed of the monitoring module."""
+        totals: Dict[int, int] = {}
+        for agent in self.host_agents.values():
+            for vip_addr, (_packets, size) in agent.traffic_report().items():
+                totals[vip_addr] = totals.get(vip_addr, 0) + size
+        return totals
+
+    def measured_demands(self, window_s: float) -> List:
+        """Turn metered bytes into fresh :class:`VipDemand`\\ s for the
+        next assignment epoch.  VIPs with no observed traffic keep their
+        configured volume (monitoring gaps must not zero out a service).
+        """
+        if window_s <= 0:
+            raise ControllerError("metering window must be positive")
+        observed = self.collect_traffic_reports()
+        demands = []
+        for vip in self.population:
+            base = vip.demand()
+            size = observed.get(vip.addr)
+            if size is None:
+                demands.append(base)
+            else:
+                measured_bps = size * 8 / window_s
+                demands.append(base.scaled(
+                    measured_bps / base.traffic_bps
+                    if base.traffic_bps > 0 else 0.0
+                ))
+        return demands
+
+    def collect_health_reports(self) -> Dict[int, bool]:
+        """DIP health across the fleet ("It receives the VIP health
+        status periodically from the host agents")."""
+        health: Dict[int, bool] = {}
+        for agent in self.host_agents.values():
+            health.update(agent.health_report())
+        return health
+
+    def reap_failed_dips(self) -> List[int]:
+        """Remove DIPs the health feed marks dead (S5.1: "The Duet
+        controller monitors DIP health and removes failed DIP from the
+        set of DIPs").  Returns the removed DIP addresses; a VIP's last
+        DIP is never reaped (the VIP would be dead anyway, and removal
+        would leave dangling state)."""
+        reaped: List[int] = []
+        for dip_addr, healthy in sorted(self.collect_health_reports().items()):
+            if healthy:
+                continue
+            record = next(
+                (r for r in self._records.values()
+                 if any(d.addr == dip_addr for d in r.dips)),
+                None,
+            )
+            if record is None or len(record.dips) <= 1:
+                continue
+            self.remove_dip(record.addr, dip_addr)
+            reaped.append(dip_addr)
+        return reaped
+
+    # -- introspection ------------------------------------------------------------------
+
+    def record(self, vip_addr: int) -> VipRecord:
+        return self._require(vip_addr)
+
+    def vip_location(self, vip_addr: int) -> Optional[int]:
+        """Switch hosting the VIP, or None when it is SMux-only."""
+        return self._require(vip_addr).assigned_switch
+
+    def hmux_vip_count(self) -> int:
+        return sum(
+            1 for r in self._records.values()
+            if r.assigned_switch is not None
+        )
+
+    def _require(self, vip_addr: int) -> VipRecord:
+        record = self._records.get(vip_addr)
+        if record is None:
+            raise ControllerError(f"VIP {format_ip(vip_addr)} unknown")
+        return record

@@ -1,0 +1,289 @@
+"""Flow hashing: the one function every Duet component must share.
+
+"To ensure that existing connections do not break as a VIP migrates from
+HMux to SMux or between HMuxes, all HMuxes and SMuxes use the same hash
+function to select DIPs for a given VIP" (paper S3.3.1).  The host agent
+additionally inverts this hash for SNAT: it picks a local port such that
+the 5-tuple of the *outgoing* connection hashes to the desired ECMP entry
+(S5.2).
+
+This module provides:
+
+* :func:`five_tuple_hash` — the shared deterministic hash,
+* :class:`EcmpSelector` — hash-indexed selection over a slot table,
+* :class:`ResilientHashTable` — Broadcom-style resilient hashing: removing
+  a member only remaps the flows of that member; adding a member may remap
+  others (which is exactly why Duet routes DIP *additions* through SMux,
+  S5.2),
+* WCMP weighting (S5.2, heterogeneous servers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dataplane.packet import FiveTuple
+
+_GOLDEN = 0x9E3779B97F4A7C15
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def _mix64(value: int) -> int:
+    """SplitMix64 finalizer: cheap, well-distributed, dependency-free."""
+    value = (value + _GOLDEN) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (value ^ (value >> 31)) & _MASK64
+
+
+def five_tuple_hash(flow: FiveTuple, seed: int = 0) -> int:
+    """Deterministic 64-bit hash of a flow's five-tuple.
+
+    The same ``seed`` must be configured on every HMux and SMux (and known
+    to the host agents for SNAT); per-deployment seeds exist so that hash
+    polarization between the ECMP fabric and the mux layer can be broken.
+    """
+    h = _mix64(seed ^ flow.src_ip)
+    h = _mix64(h ^ flow.dst_ip)
+    h = _mix64(h ^ (flow.src_port << 16 | flow.dst_port))
+    h = _mix64(h ^ flow.protocol)
+    return h
+
+
+class HashingError(Exception):
+    """Invalid hashing configuration (no members, bad weights...)."""
+
+
+class EcmpSelector:
+    """Plain ECMP selection: hash modulo the member list.
+
+    This is the classic switch behaviour *without* resilient hashing: any
+    membership change can remap unrelated flows.  It models both the ECMP
+    spraying of traffic across SMuxes and pre-resilient-hash switches.
+    """
+
+    def __init__(self, members: Sequence[int], seed: int = 0) -> None:
+        if not members:
+            raise HashingError("ECMP group needs at least one member")
+        self.members: Tuple[int, ...] = tuple(members)
+        self.seed = seed
+
+    def select(self, flow: FiveTuple) -> int:
+        index = five_tuple_hash(flow, self.seed) % len(self.members)
+        return self.members[index]
+
+
+class ResilientHashTable:
+    """Resilient hashing over a fixed-size slot table.
+
+    The table has ``n_slots`` entries, each holding a member id.  A flow is
+    mapped by hashing into a slot.  The resilience property (Broadcom
+    "smart hashing", paper S5.1): when a member is *removed*, only the
+    slots that pointed at it are rewritten, so flows of surviving members
+    are untouched.  When a member is *added*, slots are stolen from
+    existing members to restore balance, remapping those flows — matching
+    the paper's caveat that resilient hashing protects removals only.
+
+    Weights implement WCMP: a member with weight 2 owns twice the slots.
+    """
+
+    def __init__(
+        self,
+        members: Sequence[int],
+        n_slots: int = 256,
+        seed: int = 0,
+        weights: Optional[Sequence[float]] = None,
+    ) -> None:
+        if not members:
+            raise HashingError("hash table needs at least one member")
+        if len(set(members)) != len(members):
+            raise HashingError("duplicate members in hash table")
+        if n_slots < len(members):
+            raise HashingError(
+                f"{len(members)} members cannot fit {n_slots} slots"
+            )
+        self.n_slots = n_slots
+        self.seed = seed
+        self._weights: Dict[int, float] = {}
+        if weights is not None:
+            if len(weights) != len(members):
+                raise HashingError("weights must match members 1:1")
+            if any(w <= 0 for w in weights):
+                raise HashingError("weights must be positive")
+            self._weights = dict(zip(members, weights))
+        else:
+            self._weights = {m: 1.0 for m in members}
+        self._slots: List[int] = self._initial_layout(list(members))
+
+    # -- layout --------------------------------------------------------------
+
+    def _quota(self, members: Sequence[int]) -> Dict[int, int]:
+        """Integer slot quota per member, proportional to weight, summing
+        exactly to n_slots (largest-remainder apportionment).
+
+        Every member is guaranteed at least one slot — a 0-slot member
+        would silently blackhole its DIP, and real ECMP groups always
+        carry one entry per next hop.
+        """
+        total_weight = sum(self._weights[m] for m in members)
+        raw = {
+            m: self.n_slots * self._weights[m] / total_weight for m in members
+        }
+        quota = {m: int(raw[m]) for m in members}
+        leftover = self.n_slots - sum(quota.values())
+        # Hand the leftover slots to the largest fractional remainders,
+        # breaking ties by member id for determinism.
+        by_remainder = sorted(
+            members, key=lambda m: (-(raw[m] - quota[m]), m)
+        )
+        for m in by_remainder[:leftover]:
+            quota[m] += 1
+        # Starvation guard: take from the richest for any zero-quota
+        # member (n_slots >= n_members makes this always solvable).
+        starving = sorted(m for m in members if quota[m] == 0)
+        for m in starving:
+            donor = max(members, key=lambda d: (quota[d], -d))
+            quota[donor] -= 1
+            quota[m] = 1
+        return quota
+
+    def _initial_layout(self, members: List[int]) -> List[int]:
+        quota = self._quota(members)
+        slots: List[int] = []
+        # Round-robin interleave so adjacent slots belong to different
+        # members (better balance for correlated hashes).
+        remaining = dict(quota)
+        order = sorted(members)
+        while len(slots) < self.n_slots:
+            progressed = False
+            for m in order:
+                if remaining[m] > 0:
+                    slots.append(m)
+                    remaining[m] -= 1
+                    progressed = True
+                    if len(slots) == self.n_slots:
+                        break
+            if not progressed:  # pragma: no cover - quota sums to n_slots
+                raise HashingError("slot layout underflow")
+        return slots
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def members(self) -> Tuple[int, ...]:
+        return tuple(sorted(self._weights))
+
+    def weight_of(self, member: int) -> float:
+        return self._weights[member]
+
+    def slot_of(self, flow: FiveTuple) -> int:
+        return five_tuple_hash(flow, self.seed) % self.n_slots
+
+    def select(self, flow: FiveTuple) -> int:
+        """The member serving this flow."""
+        return self._slots[self.slot_of(flow)]
+
+    def slot_counts(self) -> Dict[int, int]:
+        """How many slots each member currently owns."""
+        counts: Dict[int, int] = {m: 0 for m in self._weights}
+        for member in self._slots:
+            counts[member] += 1
+        return counts
+
+    def slots(self) -> Tuple[int, ...]:
+        return tuple(self._slots)
+
+    # -- membership changes ------------------------------------------------------
+
+    def remove_member(self, member: int) -> int:
+        """Remove a member, rewriting only its own slots (resilient).
+
+        Freed slots are redistributed to the surviving members most below
+        their new quota.  Returns the number of slots rewritten.
+        """
+        if member not in self._weights:
+            raise HashingError(f"unknown member: {member}")
+        if len(self._weights) == 1:
+            raise HashingError("cannot remove the last member")
+        del self._weights[member]
+        survivors = sorted(self._weights)
+        quota = self._quota(survivors)
+        counts = {m: 0 for m in survivors}
+        for m in self._slots:
+            if m in counts:
+                counts[m] += 1
+        rewritten = 0
+        for index, owner in enumerate(self._slots):
+            if owner != member:
+                continue
+            # Give this slot to the survivor with the largest deficit.
+            target = min(
+                survivors, key=lambda m: (counts[m] - quota[m], m)
+            )
+            self._slots[index] = target
+            counts[target] += 1
+            rewritten += 1
+        return rewritten
+
+    def add_member(self, member: int, weight: float = 1.0) -> int:
+        """Add a member, stealing slots to meet its quota (NOT resilient:
+        stolen slots remap existing flows).  Returns slots rewritten."""
+        if member in self._weights:
+            raise HashingError(f"member already present: {member}")
+        if weight <= 0:
+            raise HashingError("weights must be positive")
+        if len(self._weights) + 1 > self.n_slots:
+            raise HashingError("no slot capacity for another member")
+        self._weights[member] = weight
+        members = sorted(self._weights)
+        quota = self._quota(members)
+        counts = {m: 0 for m in members}
+        for m in self._slots:
+            counts[m] += 1
+        rewritten = 0
+        # Steal from the members most above their quota until the new
+        # member reaches its own quota.
+        need = quota[member]
+        while counts[member] < need:
+            donor = max(
+                (m for m in members if m != member),
+                key=lambda m: (counts[m] - quota[m], m),
+            )
+            index = self._slots.index(donor)
+            self._slots[index] = member
+            counts[donor] -= 1
+            counts[member] += 1
+            rewritten += 1
+        return rewritten
+
+
+def snat_port_for_entry(
+    src_ip: int,
+    dst_ip: int,
+    dst_port: int,
+    protocol: int,
+    target_slot: int,
+    n_slots: int,
+    port_range: Tuple[int, int],
+    seed: int = 0,
+) -> Optional[int]:
+    """Find a source port whose five-tuple hashes to ``target_slot``.
+
+    This is the host agent's SNAT trick (paper S5.2): because the HA knows
+    the HMux hash function, it chooses the local port of an *outgoing*
+    connection so the return traffic's ECMP lookup lands on the tunnel
+    entry pointing back at this very DIP.  Scans the assigned port range;
+    None when no port in the range works (caller then requests another
+    range from the controller).
+    """
+    lo, hi = port_range
+    if not 0 <= lo <= hi <= 0xFFFF:
+        raise HashingError(f"invalid port range: {port_range}")
+    if not 0 <= target_slot < n_slots:
+        raise HashingError(f"slot out of range: {target_slot}/{n_slots}")
+    for port in range(lo, hi + 1):
+        flow = FiveTuple(src_ip, dst_ip, port, dst_port, protocol)
+        if five_tuple_hash(flow, seed) % n_slots == target_slot:
+            return port
+    return None

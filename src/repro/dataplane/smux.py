@@ -1,0 +1,253 @@
+"""SMux: the Ananta-style software Mux (paper S2.1), Duet's backstop.
+
+Each SMux stores the VIP-to-DIP mapping for *every* VIP in the DC, selects
+a DIP with the shared hash function (so connections survive VIP migration
+between HMux and SMux), encapsulates with IP-in-IP, and — unlike the
+stateless HMux — keeps **per-connection state**, which is what lets SMuxes
+preserve existing connections across DIP additions (S5.2).
+
+Capacity and latency are the SMux's defining limitations (S2.2): ~300K
+packets/sec per instance before the CPU saturates, and 200µs-1ms of added
+latency.  Those are modelled by :mod:`repro.sim.smux_model`; this module
+is the functional data plane with the constants attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dataplane.hashing import (
+    EcmpSelector,
+    ResilientHashTable,
+    five_tuple_hash,
+)
+from repro.dataplane.packet import (
+    DEFAULT_PACKET_BYTES,
+    FiveTuple,
+    Packet,
+    pps_to_bps,
+)
+from repro.net.addressing import format_ip
+
+#: Production SMux saturation point (paper S2.2): the CPU pegs at 300K pps.
+SMUX_CAPACITY_PPS = 300_000
+
+#: The same capacity in Gbps at 1,500-byte packets ("which translates to
+#: 3.6 Gbps for 1,500-byte packets").
+SMUX_CAPACITY_BPS = pps_to_bps(SMUX_CAPACITY_PPS, DEFAULT_PACKET_BYTES)
+
+#: The paper's what-if capacity where the NIC (10G), not the CPU, limits.
+SMUX_CAPACITY_10G_BPS = 10e9
+
+
+class SMuxError(Exception):
+    """Invalid SMux operation."""
+
+
+@dataclass
+class SMuxCounters:
+    packets: int = 0
+    bytes: int = 0
+    drops_no_vip: int = 0
+    connections: int = 0
+
+    def count(self, size_bytes: int) -> None:
+        self.packets += 1
+        self.bytes += size_bytes
+
+
+@dataclass
+class _VipMapping:
+    """One VIP's DIP set with the exact slot layout an HMux would build.
+
+    Using :class:`ResilientHashTable` here is what makes the two planes
+    agree packet-for-packet: same members, same slot count, same layout,
+    same hash (S3.3.1).
+    """
+
+    dips: List[int]
+    table: "ResilientHashTable"
+
+    @classmethod
+    def build(
+        cls,
+        dips: List[int],
+        weights: Optional[List[float]],
+        seed: int,
+        n_slots: Optional[int] = None,
+    ) -> "_VipMapping":
+        if n_slots is None:
+            from repro.dataplane.hmux import default_wcmp_slots
+
+            n_slots = default_wcmp_slots(len(dips), weights)
+        table = ResilientHashTable(
+            list(range(len(dips))), n_slots=n_slots, seed=seed,
+            weights=weights,
+        )
+        return cls(dips=dips, table=table)
+
+    def select(self, flow: FiveTuple, seed: int) -> int:
+        return self.dips[self.table.select(flow)]
+
+
+class SMux:
+    """One software Mux instance.
+
+    The connection table maps a live flow to its DIP so that membership
+    changes never remap established connections — Ananta semantics
+    ("SMuxes maintain detailed connection state to ensure that existing
+    connections continue to go to the right DIPs", S5.2).
+    """
+
+    def __init__(
+        self,
+        smux_id: int,
+        smux_ip: int,
+        hash_seed: int = 0,
+        capacity_pps: float = SMUX_CAPACITY_PPS,
+    ) -> None:
+        self.smux_id = smux_id
+        self.smux_ip = smux_ip
+        self.hash_seed = hash_seed
+        self.capacity_pps = capacity_pps
+        self.counters = SMuxCounters()
+        self._vips: Dict[int, _VipMapping] = {}
+        self._port_vips: Dict[Tuple[int, int], _VipMapping] = {}
+        self._connections: Dict[FiveTuple, int] = {}
+
+    # -- VIP map management (pushed by the controller) ---------------------------
+
+    def set_vip(
+        self,
+        vip: int,
+        dips: Sequence[int],
+        weights: Optional[Sequence[float]] = None,
+        *,
+        n_slots: Optional[int] = None,
+    ) -> None:
+        """Install or update a VIP's DIP set (full replacement).
+
+        ``n_slots`` must match the width of the HMux ECMP group for this
+        VIP when one exists (the controller keeps them in sync) so both
+        planes map flows identically.  Existing connections keep their
+        pinned DIP as long as it is still in the new set; connections to
+        withdrawn DIPs are dropped, like the paper's DIP-failure
+        semantics.
+        """
+        if not dips:
+            raise SMuxError(f"VIP {format_ip(vip)} needs at least one DIP")
+        if weights is not None and len(weights) != len(dips):
+            raise SMuxError("weights must match DIPs 1:1")
+        self._vips[vip] = _VipMapping.build(
+            list(dips),
+            list(weights) if weights is not None else None,
+            self.hash_seed,
+            n_slots=n_slots,
+        )
+        survivors = set(dips)
+        stale = [
+            flow for flow, dip in self._connections.items()
+            if flow.dst_ip == vip and dip not in survivors
+        ]
+        for flow in stale:
+            del self._connections[flow]
+
+    def set_vip_port(
+        self,
+        vip: int,
+        port: int,
+        dips: Sequence[int],
+        weights: Optional[Sequence[float]] = None,
+        *,
+        n_slots: Optional[int] = None,
+    ) -> None:
+        """Port-based mapping (S5.2, Figure 8): one DIP pool per service
+        port, matched before the VIP-wide mapping."""
+        if not dips:
+            raise SMuxError(
+                f"VIP {format_ip(vip)}:{port} needs at least one DIP"
+            )
+        if weights is not None and len(weights) != len(dips):
+            raise SMuxError("weights must match DIPs 1:1")
+        self._port_vips[(vip, port)] = _VipMapping.build(
+            list(dips),
+            list(weights) if weights is not None else None,
+            self.hash_seed,
+            n_slots=n_slots,
+        )
+        survivors = set(dips)
+        stale = [
+            flow for flow, dip in self._connections.items()
+            if flow.dst_ip == vip and flow.dst_port == port
+            and dip not in survivors
+        ]
+        for flow in stale:
+            del self._connections[flow]
+
+    def remove_vip_port(self, vip: int, port: int) -> None:
+        if (vip, port) not in self._port_vips:
+            raise SMuxError(f"VIP {format_ip(vip)}:{port} not installed")
+        del self._port_vips[(vip, port)]
+        stale = [
+            f for f in self._connections
+            if f.dst_ip == vip and f.dst_port == port
+        ]
+        for flow in stale:
+            del self._connections[flow]
+
+    def remove_vip(self, vip: int) -> None:
+        if vip not in self._vips:
+            raise SMuxError(f"VIP {format_ip(vip)} not installed")
+        del self._vips[vip]
+        for key in [k for k in self._port_vips if k[0] == vip]:
+            del self._port_vips[key]
+        stale = [f for f in self._connections if f.dst_ip == vip]
+        for flow in stale:
+            del self._connections[flow]
+
+    def has_vip(self, vip: int) -> bool:
+        return vip in self._vips
+
+    def vips(self) -> List[int]:
+        return sorted(self._vips)
+
+    def dips_of(self, vip: int) -> List[int]:
+        mapping = self._vips.get(vip)
+        if mapping is None:
+            raise SMuxError(f"VIP {format_ip(vip)} not installed")
+        return list(mapping.dips)
+
+    # -- data plane ----------------------------------------------------------------
+
+    def process(self, packet: Packet) -> Optional[Packet]:
+        """Load-balance one packet: select (or recall) the DIP and
+        encapsulate.  Returns None when the destination is not a VIP we
+        know (counted as a drop)."""
+        vip = packet.flow.dst_ip
+        # Port-specific pools match first, mirroring the HMux's ACL
+        # precedence (Figure 8).
+        mapping = self._port_vips.get((vip, packet.flow.dst_port))
+        if mapping is None:
+            mapping = self._vips.get(vip)
+        if mapping is None:
+            self.counters.drops_no_vip += 1
+            return None
+        dip = self._connections.get(packet.flow)
+        if dip is None:
+            dip = mapping.select(packet.flow, self.hash_seed)
+            self._connections[packet.flow] = dip
+            self.counters.connections += 1
+        self.counters.count(packet.size_bytes)
+        return packet.encapsulate(self.smux_ip, dip)
+
+    def connection_count(self) -> int:
+        return len(self._connections)
+
+    def pinned_dip(self, flow: FiveTuple) -> Optional[int]:
+        """The DIP a live connection is pinned to, if any."""
+        return self._connections.get(flow)
+
+    def expire_connection(self, flow: FiveTuple) -> bool:
+        """Remove one connection-table entry (idle timeout)."""
+        return self._connections.pop(flow, None) is not None

@@ -1,0 +1,260 @@
+"""Models of the switch tables Duet re-purposes (paper S3.1, Figure 2).
+
+A packet entering the switch pipeline matches the **host forwarding
+table** (exact /32 routes, ~16K entries), which points at a block of
+**ECMP table** entries (~4K entries); the entry picked by the five-tuple
+hash points into the **tunneling table** (~512 entries) holding the encap
+destination.  Port-based load balancing (S5.2, Figure 8) instead matches
+an **ACL table** rule on (destination IP, destination port).
+
+Each table enforces its capacity — the scarcity of these entries is the
+entire reason Duet needs VIP partitioning and the assignment algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.net.addressing import format_ip
+
+
+class TableFullError(Exception):
+    """A switch table has no free entries."""
+
+    def __init__(self, table: str, capacity: int) -> None:
+        super().__init__(f"{table} full ({capacity} entries)")
+        self.table = table
+        self.capacity = capacity
+
+
+class TableEntryError(Exception):
+    """Invalid table operation (missing entry, duplicate key...)."""
+
+
+class TunnelingTable:
+    """index -> encap destination IP (the outer header target).
+
+    Entries are allocated in contiguous blocks because an ECMP group
+    references a [base, base+n) range of tunnel entries.
+    """
+
+    def __init__(self, capacity: int = 512) -> None:
+        if capacity < 1:
+            raise ValueError("tunneling table capacity must be positive")
+        self.capacity = capacity
+        self._entries: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def free_entries(self) -> int:
+        return self.capacity - len(self._entries)
+
+    def allocate_block(self, encap_ips: Sequence[int]) -> int:
+        """Store ``encap_ips`` in a contiguous free block; returns the base
+        index.  Raises :class:`TableFullError` when no block fits."""
+        need = len(encap_ips)
+        if need == 0:
+            raise TableEntryError("cannot allocate an empty tunnel block")
+        if need > self.free_entries:
+            raise TableFullError("tunneling table", self.capacity)
+        base = self._find_gap(need)
+        if base is None:
+            raise TableFullError("tunneling table", self.capacity)
+        for offset, encap_ip in enumerate(encap_ips):
+            self._entries[base + offset] = encap_ip
+        return base
+
+    def _find_gap(self, need: int) -> Optional[int]:
+        run = 0
+        for index in range(self.capacity):
+            if index in self._entries:
+                run = 0
+            else:
+                run += 1
+                if run == need:
+                    return index - need + 1
+        return None
+
+    def free_block(self, base: int, count: int) -> None:
+        for index in range(base, base + count):
+            if index not in self._entries:
+                raise TableEntryError(f"tunnel entry {index} not allocated")
+            del self._entries[index]
+
+    def get(self, index: int) -> int:
+        """The encap IP at ``index``."""
+        if index not in self._entries:
+            raise TableEntryError(f"tunnel entry {index} not allocated")
+        return self._entries[index]
+
+    def set(self, index: int, encap_ip: int) -> None:
+        """Rewrite an allocated entry in place (resilient-hash slot fix-up)."""
+        if index not in self._entries:
+            raise TableEntryError(f"tunnel entry {index} not allocated")
+        self._entries[index] = encap_ip
+
+
+@dataclass(frozen=True)
+class EcmpGroup:
+    """A block of ECMP entries pointing at tunnel-table indices."""
+
+    group_id: int
+    tunnel_base: int
+    size: int
+
+    def tunnel_index(self, slot: int) -> int:
+        if not 0 <= slot < self.size:
+            raise TableEntryError(f"ECMP slot out of range: {slot}/{self.size}")
+        return self.tunnel_base + slot
+
+
+class EcmpTable:
+    """ECMP groups drawing from a shared pool of ECMP entries (~4K).
+
+    Each group consumes ``size`` entries from the pool; the per-entry
+    payload (which tunnel index) lives conceptually in the entries
+    themselves, modelled here by the group's contiguous tunnel base.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 1:
+            raise ValueError("ECMP table capacity must be positive")
+        self.capacity = capacity
+        self._groups: Dict[int, EcmpGroup] = {}
+        self._used = 0
+        self._next_group_id = 0
+
+    def __len__(self) -> int:
+        return len(self._groups)
+
+    @property
+    def used_entries(self) -> int:
+        return self._used
+
+    @property
+    def free_entries(self) -> int:
+        return self.capacity - self._used
+
+    def create_group(self, tunnel_base: int, size: int) -> EcmpGroup:
+        if size < 1:
+            raise TableEntryError("ECMP group needs at least one entry")
+        if size > self.free_entries:
+            raise TableFullError("ECMP table", self.capacity)
+        group = EcmpGroup(self._next_group_id, tunnel_base, size)
+        self._groups[group.group_id] = group
+        self._used += size
+        self._next_group_id += 1
+        return group
+
+    def destroy_group(self, group_id: int) -> None:
+        group = self._groups.pop(group_id, None)
+        if group is None:
+            raise TableEntryError(f"unknown ECMP group: {group_id}")
+        self._used -= group.size
+
+    def group(self, group_id: int) -> EcmpGroup:
+        if group_id not in self._groups:
+            raise TableEntryError(f"unknown ECMP group: {group_id}")
+        return self._groups[group_id]
+
+
+class HostForwardingTable:
+    """Exact-match /32 routes: destination IP -> ECMP group id (~16K).
+
+    "The host table is mostly empty, because it is used only for routing
+    within a rack" (S3.1) — the reproduction exposes a ``reserved``
+    count standing in for those rack-local routes.
+    """
+
+    def __init__(self, capacity: int = 16 * 1024, reserved: int = 0) -> None:
+        if capacity < 1:
+            raise ValueError("host table capacity must be positive")
+        if not 0 <= reserved <= capacity:
+            raise ValueError("reserved entries exceed capacity")
+        self.capacity = capacity
+        self.reserved = reserved
+        self._routes: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    @property
+    def free_entries(self) -> int:
+        return self.capacity - self.reserved - len(self._routes)
+
+    def install(self, dst_ip: int, group_id: int) -> None:
+        if dst_ip in self._routes:
+            raise TableEntryError(
+                f"duplicate host route for {format_ip(dst_ip)}"
+            )
+        if self.free_entries <= 0:
+            raise TableFullError("host forwarding table", self.capacity)
+        self._routes[dst_ip] = group_id
+
+    def remove(self, dst_ip: int) -> int:
+        if dst_ip not in self._routes:
+            raise TableEntryError(f"no host route for {format_ip(dst_ip)}")
+        return self._routes.pop(dst_ip)
+
+    def lookup(self, dst_ip: int) -> Optional[int]:
+        return self._routes.get(dst_ip)
+
+    def routes(self) -> Iterator[Tuple[int, int]]:
+        return iter(sorted(self._routes.items()))
+
+
+@dataclass(frozen=True)
+class AclRule:
+    """Match on (destination IP, destination L4 port) -> ECMP group.
+
+    Models the port-based load balancing of S5.2/Figure 8: one VIP with a
+    different DIP set per service port.
+    """
+
+    dst_ip: int
+    dst_port: int
+    group_id: int
+
+
+class AclTable:
+    """ACL rules table; matched before the host table falls through.
+
+    "Typically the number of ACL rules supported is larger than the
+    tunneling table size, so it is not a bottleneck" (S5.2) — the default
+    capacity reflects that.
+    """
+
+    def __init__(self, capacity: int = 2048) -> None:
+        self.capacity = capacity
+        self._rules: Dict[Tuple[int, int], AclRule] = {}
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    @property
+    def free_entries(self) -> int:
+        return self.capacity - len(self._rules)
+
+    def install(self, rule: AclRule) -> None:
+        key = (rule.dst_ip, rule.dst_port)
+        if key in self._rules:
+            raise TableEntryError(
+                f"duplicate ACL rule for {format_ip(rule.dst_ip)}:{rule.dst_port}"
+            )
+        if self.free_entries <= 0:
+            raise TableFullError("ACL table", self.capacity)
+        self._rules[key] = rule
+
+    def remove(self, dst_ip: int, dst_port: int) -> AclRule:
+        key = (dst_ip, dst_port)
+        if key not in self._rules:
+            raise TableEntryError(
+                f"no ACL rule for {format_ip(dst_ip)}:{dst_port}"
+            )
+        return self._rules.pop(key)
+
+    def lookup(self, dst_ip: int, dst_port: int) -> Optional[AclRule]:
+        return self._rules.get((dst_ip, dst_port))

@@ -1,0 +1,66 @@
+"""Experiment drivers: one module per paper figure.
+
+Each ``figXX_*`` module exposes ``run(...) -> Result`` and the result's
+``render()`` prints the same rows/series the corresponding figure in the
+paper reports.  ``benchmarks/`` wraps each driver in a pytest-benchmark
+target.
+"""
+
+from repro.experiments import (
+    ablations,
+    fig01_smux_perf,
+    fig11_hmux_capacity,
+    fig12_failover,
+    fig13_migration_avail,
+    fig14_latency_breakdown,
+    fig15_trace,
+    fig16_smux_reduction,
+    fig17_latency_vs_smux,
+    fig18_duet_vs_random,
+    fig19_failure_util,
+    fig20_migration,
+)
+from repro.experiments.common import (
+    ExperimentScale,
+    build_world,
+    medium_scale,
+    paper_scale_experiment,
+    small_scale,
+    traffic_sweep_points,
+)
+
+ALL_FIGURES = {
+    "fig01": fig01_smux_perf,
+    "fig11": fig11_hmux_capacity,
+    "fig12": fig12_failover,
+    "fig13": fig13_migration_avail,
+    "fig14": fig14_latency_breakdown,
+    "fig15": fig15_trace,
+    "fig16": fig16_smux_reduction,
+    "fig17": fig17_latency_vs_smux,
+    "fig18": fig18_duet_vs_random,
+    "fig19": fig19_failure_util,
+    "fig20": fig20_migration,
+}
+
+__all__ = [
+    "ALL_FIGURES",
+    "ablations",
+    "ExperimentScale",
+    "build_world",
+    "fig01_smux_perf",
+    "fig11_hmux_capacity",
+    "fig12_failover",
+    "fig13_migration_avail",
+    "fig14_latency_breakdown",
+    "fig15_trace",
+    "fig16_smux_reduction",
+    "fig17_latency_vs_smux",
+    "fig18_duet_vs_random",
+    "fig19_failure_util",
+    "fig20_migration",
+    "medium_scale",
+    "paper_scale_experiment",
+    "small_scale",
+    "traffic_sweep_points",
+]

@@ -1,0 +1,71 @@
+"""Figure 15: traffic and DIP distribution across VIPs.
+
+The trace characterization behind the whole design: the CDFs of bytes,
+packets and DIP counts over the VIP population.  Traffic is heavily
+skewed (a small fraction of "elephant" VIPs carries almost all bytes);
+DIP counts are skewed too but far less so.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.analysis import lorenz_points, render_series, render_table
+from repro.experiments.common import ExperimentScale, build_world, small_scale
+from repro.workload.vips import VipPopulation
+
+
+@dataclass
+class Fig15Result:
+    population: VipPopulation
+    bytes_lorenz: List[Tuple[float, float]]
+    dips_lorenz: List[Tuple[float, float]]
+
+    def top_fraction_bytes(self, top: float) -> float:
+        """Fraction of bytes carried by the top ``top`` fraction of VIPs."""
+        for fraction, mass in self.bytes_lorenz:
+            if fraction >= top:
+                return mass
+        return 1.0
+
+    def top_fraction_dips(self, top: float) -> float:
+        for fraction, mass in self.dips_lorenz:
+            if fraction >= top:
+                return mass
+        return 1.0
+
+    def rows(self) -> List[Tuple[str, str, str]]:
+        rows = []
+        for top in (0.01, 0.05, 0.10, 0.25, 0.50):
+            rows.append((
+                f"top {top * 100:.0f}% of VIPs",
+                f"{self.top_fraction_bytes(top) * 100:.1f}% of bytes",
+                f"{self.top_fraction_dips(top) * 100:.1f}% of DIPs",
+            ))
+        return rows
+
+    def render(self) -> str:
+        table = render_table(
+            ("vips", "bytes", "dips"),
+            self.rows(),
+            title="Figure 15: traffic and DIP concentration across VIPs",
+        )
+        series = render_series(
+            "bytes-lorenz", self.bytes_lorenz,
+            x_label="fraction of VIPs", y_label="fraction of bytes",
+        )
+        return f"{table}\n{series}"
+
+
+def run(scale: ExperimentScale = small_scale()) -> Fig15Result:
+    _topology, population = build_world(scale)
+    traffic = [v.traffic_bps for v in population]
+    dips = [float(v.n_dips) for v in population]
+    return Fig15Result(
+        population=population,
+        bytes_lorenz=lorenz_points(traffic),
+        dips_lorenz=lorenz_points(dips),
+    )

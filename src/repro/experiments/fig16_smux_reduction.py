@@ -1,0 +1,109 @@
+"""Figure 16: number of SMuxes used in Duet and Ananta.
+
+Sweep the total VIP traffic (the paper uses 1.25/2.5/5/10 Tbps) and
+compare the SMux fleet each design needs, at both the measured 3.6 Gbps
+SMux capacity and the hypothetical 10 Gbps (NIC-bound) capacity.  Duet
+assigns the elephants to HMuxes and keeps SMuxes only for leftover +
+failover, yielding the paper's 12-24x (3.6G) and 8-12x (10G) reductions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis import format_si, render_table
+from repro.core.assignment import Assignment, AssignmentConfig, GreedyAssigner
+from repro.core.provisioning import (
+    ProvisioningConfig,
+    SmuxProvisioning,
+    ananta_smux_count,
+    duet_provisioning,
+)
+from repro.dataplane.smux import SMUX_CAPACITY_BPS, SMUX_CAPACITY_10G_BPS
+from repro.experiments.common import (
+    ExperimentScale,
+    build_world,
+    small_scale,
+    traffic_sweep_points,
+)
+
+
+@dataclass
+class Fig16Point:
+    traffic_bps: float
+    duet_36: SmuxProvisioning
+    duet_10g: SmuxProvisioning
+    ananta_36: int
+    ananta_10g: int
+    hmux_coverage: float
+    assignment: Assignment = field(repr=False)
+
+    @property
+    def reduction_36(self) -> float:
+        return self.ananta_36 / max(1, self.duet_36.n_smuxes)
+
+    @property
+    def reduction_10g(self) -> float:
+        return self.ananta_10g / max(1, self.duet_10g.n_smuxes)
+
+
+@dataclass
+class Fig16Result:
+    scale_name: str
+    points: List[Fig16Point]
+
+    def rows(self) -> List[Tuple[str, str, str, str, str, str, str]]:
+        return [
+            (
+                format_si(p.traffic_bps, "bps"),
+                str(p.duet_36.n_smuxes),
+                str(p.ananta_36),
+                f"{p.reduction_36:.1f}x",
+                str(p.duet_10g.n_smuxes),
+                str(p.ananta_10g),
+                f"{p.reduction_10g:.1f}x",
+            )
+            for p in self.points
+        ]
+
+    def render(self) -> str:
+        return render_table(
+            (
+                "traffic", "duet(3.6G)", "ananta(3.6G)", "reduction",
+                "duet(10G)", "ananta(10G)", "reduction",
+            ),
+            self.rows(),
+            title=f"Figure 16: SMuxes needed, Duet vs Ananta [{self.scale_name}]",
+        )
+
+
+def run(
+    scale: ExperimentScale = small_scale(),
+    traffic_points: Optional[List[float]] = None,
+) -> Fig16Result:
+    points = traffic_points or traffic_sweep_points(scale)
+    results: List[Fig16Point] = []
+    for traffic in points:
+        sized = scale.with_traffic(traffic)
+        topology, population = build_world(sized)
+        assignment = GreedyAssigner(topology).assign(population.demands())
+        duet_36 = duet_provisioning(
+            assignment, topology,
+            ProvisioningConfig(smux_capacity_bps=SMUX_CAPACITY_BPS),
+        )
+        duet_10g = duet_provisioning(
+            assignment, topology,
+            ProvisioningConfig(smux_capacity_bps=SMUX_CAPACITY_10G_BPS),
+        )
+        total = population.total_traffic_bps
+        results.append(Fig16Point(
+            traffic_bps=total,
+            duet_36=duet_36,
+            duet_10g=duet_10g,
+            ananta_36=ananta_smux_count(total, SMUX_CAPACITY_BPS),
+            ananta_10g=ananta_smux_count(total, SMUX_CAPACITY_10G_BPS),
+            hmux_coverage=assignment.hmux_traffic_fraction(),
+            assignment=assignment,
+        ))
+    return Fig16Result(scale_name=scale.name, points=results)

@@ -1,0 +1,184 @@
+"""Failure scenarios for availability and congestion experiments.
+
+The paper provisions SMuxes for, and evaluates congestion under, two
+scenarios drawn from production failure studies (S8.2, S8.5): (1) the
+failure of an entire container, and (2) the simultaneous failure of up to
+three random switches.  This module generates those scenarios and computes
+their side effects (which racks lose connectivity, which traffic
+disappears), feeding the provisioning model (:mod:`repro.core.provisioning`)
+and the Figure 19 experiment.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.net.routing import EcmpRouter
+from repro.net.topology import Switch, SwitchKind, Topology
+
+
+@dataclass(frozen=True)
+class FailureScenario:
+    """A set of simultaneously failed network elements."""
+
+    name: str
+    failed_switches: FrozenSet[int] = frozenset()
+    failed_links: FrozenSet[int] = frozenset()
+    failed_container: Optional[int] = None
+
+    @classmethod
+    def none(cls) -> "FailureScenario":
+        """The healthy network."""
+        return cls(name="normal")
+
+    @property
+    def is_normal(self) -> bool:
+        return not self.failed_switches and not self.failed_links
+
+    def router(self, topology: Topology) -> EcmpRouter:
+        """An ECMP router reflecting this scenario."""
+        return EcmpRouter(
+            topology,
+            failed_switches=self.failed_switches,
+            failed_links=self.failed_links,
+        )
+
+    def dead_tors(self, topology: Topology) -> Set[int]:
+        """ToRs that are down (their racks are unreachable)."""
+        return {
+            s for s in self.failed_switches
+            if topology.switch(s).kind is SwitchKind.TOR
+        }
+
+    def dead_servers(self, topology: Topology) -> Set[int]:
+        """Server ids whose rack ToR is down.
+
+        A container failure "makes all the traffic with sources and
+        destinations (DIPs) inside to disappear" (S8.5); a single failed
+        ToR likewise cuts off its rack.
+        """
+        dead: Set[int] = set()
+        for tor in self.dead_tors(topology):
+            dead.update(topology.rack_servers(tor))
+        return dead
+
+
+def container_failure(topology: Topology, container: int) -> FailureScenario:
+    """Fail every switch inside one container."""
+    if not 0 <= container < topology.n_containers:
+        raise ValueError(f"container out of range: {container}")
+    switches = frozenset(topology.container_switches(container))
+    return FailureScenario(
+        name=f"container-{container}-failure",
+        failed_switches=switches,
+        failed_container=container,
+    )
+
+
+def random_container_failure(
+    topology: Topology, rng: random.Random
+) -> FailureScenario:
+    """Fail a uniformly random container."""
+    return container_failure(topology, rng.randrange(topology.n_containers))
+
+
+def switch_failures(
+    topology: Topology, switches: Sequence[int]
+) -> FailureScenario:
+    """Fail a specific set of switches."""
+    for s in switches:
+        if not 0 <= s < topology.n_switches:
+            raise ValueError(f"switch index out of range: {s}")
+    return FailureScenario(
+        name=f"switch-failure-{'-'.join(str(s) for s in sorted(switches))}",
+        failed_switches=frozenset(switches),
+    )
+
+
+def random_switch_failures(
+    topology: Topology, count: int, rng: random.Random
+) -> FailureScenario:
+    """Fail ``count`` uniformly random distinct switches (the paper's
+    "three random switch failures" scenario uses count=3)."""
+    if count > topology.n_switches:
+        raise ValueError("cannot fail more switches than exist")
+    picked = rng.sample(range(topology.n_switches), count)
+    return switch_failures(topology, picked)
+
+
+def link_failures(
+    topology: Topology, links: Sequence[int], *, bidirectional: bool = True
+) -> FailureScenario:
+    """Fail specific links; by default both directions of each cable (a
+    physical cut kills both)."""
+    failed: Set[int] = set()
+    for index in links:
+        link = topology.links[index]
+        failed.add(index)
+        if bidirectional:
+            failed.add(topology.link_between(link.dst, link.src).index)
+    return FailureScenario(
+        name=f"link-failure-{'-'.join(str(l) for l in sorted(failed))}",
+        failed_links=frozenset(failed),
+    )
+
+
+def random_link_failures(
+    topology: Topology, count: int, rng: random.Random
+) -> FailureScenario:
+    """Fail ``count`` random physical cables (both directions each)."""
+    # Sample among forward-direction link indices only (even indices come
+    # first per duplex pair ordering is not guaranteed, so sample cables by
+    # canonical (min, max) endpoint pairs).
+    cables = sorted({
+        tuple(sorted((link.src, link.dst))) for link in topology.links
+    })
+    if count > len(cables):
+        raise ValueError("cannot fail more cables than exist")
+    picked = rng.sample(cables, count)
+    indices = [topology.link_between(a, b).index for a, b in picked]
+    return link_failures(topology, indices, bidirectional=True)
+
+
+def isolated_switches(
+    topology: Topology, scenario: FailureScenario
+) -> Set[int]:
+    """Switches that are alive but unreachable from every core switch.
+
+    The paper treats "a link failure [that] isolates a switch ... as a
+    switch failure" (S5.1); this helper finds such switches so callers can
+    promote them into the failed set.
+    """
+    router = scenario.router(topology)
+    cores = [c for c in topology.cores() if c not in scenario.failed_switches]
+    alive = [
+        s.index for s in topology.switches
+        if s.index not in scenario.failed_switches
+    ]
+    if not cores:
+        # Whole core layer down: every container is its own island; a
+        # switch is "isolated" if it cannot reach any Agg in its container.
+        return set()
+    isolated: Set[int] = set()
+    for switch in alive:
+        if not any(router.is_reachable(switch, core) for core in cores):
+            isolated.add(switch)
+    return isolated
+
+
+def promote_isolated(
+    topology: Topology, scenario: FailureScenario
+) -> FailureScenario:
+    """Return a scenario where isolated-but-alive switches are treated as
+    failed (paper S5.1)."""
+    extra = isolated_switches(topology, scenario)
+    if not extra:
+        return scenario
+    return FailureScenario(
+        name=scenario.name + "+isolated",
+        failed_switches=scenario.failed_switches | frozenset(extra),
+        failed_links=scenario.failed_links,
+        failed_container=scenario.failed_container,
+    )

@@ -1,0 +1,238 @@
+"""ECMP routing over the datacenter topology.
+
+Duet's VIP assignment algorithm (S4.1) needs, for every (VIP, candidate
+switch) pair, the extra utilization each link would see: traffic flows from
+its ingress point to the candidate HMux (VIP traffic) and from the HMux to
+the DIPs' racks (encapsulated DIP traffic), split over equal-cost shortest
+paths by ECMP at every hop.
+
+:class:`EcmpRouter` computes, for any ordered switch pair (src, dst), the
+fraction of one unit of traffic that crosses each directional link — the
+standard "flow on the shortest-path DAG with equal splitting" model.  The
+router honours failed switches and links, which is how the failure
+experiments (Figure 19) reroute through traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.net.topology import Topology
+
+UNREACHABLE = -1
+
+
+class RoutingError(Exception):
+    """Base class for routing failures."""
+
+
+class UnreachableError(RoutingError):
+    """No path exists between the requested endpoints."""
+
+    def __init__(self, src: int, dst: int) -> None:
+        super().__init__(f"no path from switch {src} to switch {dst}")
+        self.src = src
+        self.dst = dst
+
+
+class EcmpRouter:
+    """Shortest-path ECMP routing with optional failed elements.
+
+    The router is immutable with respect to the failure set: build a new
+    router per network state (construction is cheap; BFS trees and path
+    fractions are computed lazily and cached).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        failed_switches: Iterable[int] = (),
+        failed_links: Iterable[int] = (),
+    ) -> None:
+        self.topology = topology
+        self.failed_switches: FrozenSet[int] = frozenset(failed_switches)
+        self.failed_links: FrozenSet[int] = frozenset(failed_links)
+        self._adjacency = self._build_adjacency()
+        self._dist_cache: Dict[int, np.ndarray] = {}
+        self._fraction_cache: Dict[Tuple[int, int], Dict[int, float]] = {}
+
+    def _build_adjacency(self) -> List[List[Tuple[int, int]]]:
+        """Per-switch list of (neighbor, link_index), failures removed."""
+        topo = self.topology
+        adjacency: List[List[Tuple[int, int]]] = [
+            [] for _ in range(topo.n_switches)
+        ]
+        for link in topo.links:
+            if link.index in self.failed_links:
+                continue
+            if link.src in self.failed_switches:
+                continue
+            if link.dst in self.failed_switches:
+                continue
+            adjacency[link.src].append((link.dst, link.index))
+        return adjacency
+
+    # -- reachability ------------------------------------------------------
+
+    def distances_to(self, dst: int) -> np.ndarray:
+        """Hop distance from every switch to ``dst`` (UNREACHABLE if none).
+
+        Because every link in the topology is duplex (both directions exist
+        or neither), BFS over the forward adjacency from ``dst`` yields the
+        reverse distances too.
+        """
+        cached = self._dist_cache.get(dst)
+        if cached is not None:
+            return cached
+        n = self.topology.n_switches
+        dist = np.full(n, UNREACHABLE, dtype=np.int32)
+        if dst not in self.failed_switches:
+            dist[dst] = 0
+            frontier = [dst]
+            depth = 0
+            while frontier:
+                depth += 1
+                next_frontier: List[int] = []
+                for node in frontier:
+                    for neighbor, _link in self._adjacency[node]:
+                        if dist[neighbor] == UNREACHABLE:
+                            dist[neighbor] = depth
+                            next_frontier.append(neighbor)
+                frontier = next_frontier
+        self._dist_cache[dst] = dist
+        return dist
+
+    def is_reachable(self, src: int, dst: int) -> bool:
+        if src in self.failed_switches or dst in self.failed_switches:
+            return False
+        return bool(self.distances_to(dst)[src] != UNREACHABLE)
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        """Hop count of the shortest path; raises if unreachable."""
+        dist = int(self.distances_to(dst)[src])
+        if dist == UNREACHABLE or src in self.failed_switches:
+            raise UnreachableError(src, dst)
+        return dist
+
+    # -- ECMP path fractions ------------------------------------------------
+
+    def path_fractions(self, src: int, dst: int) -> Dict[int, float]:
+        """Fraction of unit traffic from src to dst on each directed link.
+
+        Returns a mapping link_index -> fraction in (0, 1].  Equal-cost
+        splitting: at every node on the shortest-path DAG, incoming mass is
+        divided evenly among next hops that lie on a shortest path.  For
+        ``src == dst`` the result is empty (traffic never leaves the
+        switch).  Raises :class:`UnreachableError` when no path exists.
+        """
+        key = (src, dst)
+        cached = self._fraction_cache.get(key)
+        if cached is not None:
+            return cached
+        if src == dst:
+            if src in self.failed_switches:
+                raise UnreachableError(src, dst)
+            self._fraction_cache[key] = {}
+            return {}
+        dist = self.distances_to(dst)
+        if dist[src] == UNREACHABLE or src in self.failed_switches:
+            raise UnreachableError(src, dst)
+
+        fractions: Dict[int, float] = {}
+        mass: Dict[int, float] = {src: 1.0}
+        # Process nodes in decreasing distance-to-dst; every DAG edge goes
+        # from distance d to d-1, so a node's mass is complete before it is
+        # expanded.
+        for depth in range(int(dist[src]), 0, -1):
+            at_depth = [node for node in mass if dist[node] == depth]
+            for node in at_depth:
+                node_mass = mass.pop(node)
+                next_hops = [
+                    (neighbor, link)
+                    for neighbor, link in self._adjacency[node]
+                    if dist[neighbor] == depth - 1
+                ]
+                share = node_mass / len(next_hops)
+                for neighbor, link in next_hops:
+                    fractions[link] = fractions.get(link, 0.0) + share
+                    mass[neighbor] = mass.get(neighbor, 0.0) + share
+        self._fraction_cache[key] = fractions
+        return fractions
+
+    def path_fraction_vector(self, src: int, dst: int) -> np.ndarray:
+        """Path fractions as a dense numpy vector over all links."""
+        vector = np.zeros(self.topology.n_links)
+        for link, fraction in self.path_fractions(src, dst).items():
+            vector[link] = fraction
+        return vector
+
+    def ecmp_next_hops(self, at: int, dst: int) -> List[int]:
+        """Switches the ECMP DAG uses as next hops from ``at`` toward
+        ``dst`` (empty when at == dst)."""
+        if at == dst:
+            return []
+        dist = self.distances_to(dst)
+        if dist[at] == UNREACHABLE or at in self.failed_switches:
+            raise UnreachableError(at, dst)
+        return [
+            neighbor
+            for neighbor, _link in self._adjacency[at]
+            if dist[neighbor] == dist[at] - 1
+        ]
+
+    def sample_path(self, src: int, dst: int, flow_hash: int) -> List[int]:
+        """One concrete switch path chosen deterministically by a flow hash,
+        emulating per-flow ECMP.  Returns [src, ..., dst]."""
+        path = [src]
+        at = src
+        guard = self.topology.n_switches + 1
+        while at != dst:
+            hops = self.ecmp_next_hops(at, dst)
+            at = hops[flow_hash % len(hops)]
+            # Decorrelate the choice at successive hops the way hardware
+            # hash rotation does, so one flow does not always pick index 0.
+            flow_hash = (flow_hash * 0x9E3779B1 + 0x7F4A7C15) & 0xFFFFFFFF
+            path.append(at)
+            guard -= 1
+            if guard == 0:  # pragma: no cover - defensive
+                raise RoutingError("routing loop detected")
+        return path
+
+
+class LinkLoadAccumulator:
+    """Accumulates traffic onto per-link load vectors via a router.
+
+    Used both by the assignment algorithm (to price candidate placements)
+    and by the failure experiments (to measure max link utilization,
+    Figure 19).
+    """
+
+    def __init__(self, router: EcmpRouter) -> None:
+        self.router = router
+        self.load = np.zeros(router.topology.n_links)
+
+    def add_flow(self, src: int, dst: int, volume_bps: float) -> None:
+        """Spread ``volume_bps`` of traffic from src to dst over ECMP."""
+        if volume_bps < 0:
+            raise ValueError("traffic volume must be non-negative")
+        for link, fraction in self.router.path_fractions(src, dst).items():
+            self.load[link] += volume_bps * fraction
+
+    def add_flows(
+        self, flows: Iterable[Tuple[int, int, float]]
+    ) -> None:
+        for src, dst, volume in flows:
+            self.add_flow(src, dst, volume)
+
+    def utilization(self) -> np.ndarray:
+        """Per-link utilization (load / capacity)."""
+        capacities = np.asarray(self.router.topology.link_capacities())
+        return self.load / capacities
+
+    def max_utilization(self) -> float:
+        """The MLU across all links (0.0 on an idle network)."""
+        if not len(self.load):
+            return 0.0
+        return float(self.utilization().max())

@@ -1,0 +1,279 @@
+"""Mux latency and capacity models (paper S2.2, Figures 1 and 11).
+
+The testbed results all stem from one asymmetry:
+
+* An **SMux** processes packets on a CPU: ~196 µs median added latency at
+  no load with a heavy tail (90th percentile ~1 ms), saturating at ~300K
+  packets/sec — beyond which queues build and latency explodes into the
+  tens of milliseconds (Figure 11).
+* An **HMux** processes packets in the switching ASIC: microseconds of
+  added latency, no queueing until the *link* capacity is exceeded.
+
+We model each mux as a queueing station:
+
+* base processing latency: log-normal for the SMux (fitted to the no-load
+  CDF of Figure 1a), near-deterministic nanosecond-scale pipeline for the
+  HMux;
+* queueing delay: an M/M/1-style stationary wait below saturation, plus a
+  **fluid backlog** that integrates (arrival rate - service rate) over
+  load phases when offered load exceeds capacity, bounded by a finite
+  buffer (drops beyond) — which is what produces Figure 11's flat ~20 ms
+  plateau during overload rather than unbounded growth.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.dataplane.smux import SMUX_CAPACITY_PPS
+
+#: Figure 1a anchors: "at zero load the SMux adds a median latency of
+#: 196 usec ... with the 90th percentile being 1 ms".
+SMUX_BASE_MEDIAN_S = 196e-6
+SMUX_BASE_P90_S = 1e-3
+
+#: Median DC RTT without the load balancer (S2.2).
+NETWORK_RTT_MEDIAN_S = 381e-6
+
+_Z90 = 1.2815515655446004  # standard normal 90th percentile
+
+
+@dataclass(frozen=True)
+class LognormalLatency:
+    """A log-normal latency law parameterized by (median, p90)."""
+
+    median_s: float
+    p90_s: float
+
+    def __post_init__(self) -> None:
+        if self.median_s <= 0 or self.p90_s < self.median_s:
+            raise ValueError("need 0 < median <= p90")
+
+    @property
+    def mu(self) -> float:
+        return math.log(self.median_s)
+
+    @property
+    def sigma(self) -> float:
+        if self.p90_s == self.median_s:
+            return 0.0
+        return math.log(self.p90_s / self.median_s) / _Z90
+
+    def sample(self, rng: random.Random) -> float:
+        if self.sigma == 0.0:
+            return self.median_s
+        return rng.lognormvariate(self.mu, self.sigma)
+
+    def quantile(self, q: float) -> float:
+        if not 0.0 < q < 1.0:
+            raise ValueError("quantile must be in (0, 1)")
+        if self.sigma == 0.0:
+            return self.median_s
+        # Inverse CDF via the normal quantile (Acklam-style rational
+        # approximation is overkill; use statistics.NormalDist).
+        from statistics import NormalDist
+
+        z = NormalDist().inv_cdf(q)
+        return math.exp(self.mu + self.sigma * z)
+
+
+#: The SMux's software-path latency law (no-load Figure 1a).
+SMUX_BASE_LATENCY = LognormalLatency(SMUX_BASE_MEDIAN_S, SMUX_BASE_P90_S)
+
+#: The HMux's ASIC pipeline: "microsecond latency" with almost no jitter.
+HMUX_BASE_LATENCY = LognormalLatency(1.2e-6, 1.5e-6)
+
+#: Network propagation RTT law (used to turn added latency into RTTs).
+NETWORK_RTT = LognormalLatency(NETWORK_RTT_MEDIAN_S, 700e-6)
+
+
+@dataclass(frozen=True)
+class LoadPhase:
+    """Offered load over [start_s, end_s)."""
+
+    start_s: float
+    end_s: float
+    rate_pps: float
+
+    def __post_init__(self) -> None:
+        if self.end_s <= self.start_s:
+            raise ValueError("phase must have positive duration")
+        if self.rate_pps < 0:
+            raise ValueError("rate must be non-negative")
+
+
+class MuxStation:
+    """One mux as a queueing station over a piecewise-constant load.
+
+    ``capacity_pps`` is the service rate; ``buffer_packets`` bounds the
+    backlog (drop-tail beyond).  The station pre-integrates the fluid
+    backlog at phase boundaries so queries at arbitrary times are O(#
+    phases).
+    """
+
+    def __init__(
+        self,
+        base_latency: LognormalLatency,
+        capacity_pps: float,
+        phases: Sequence[LoadPhase],
+        *,
+        buffer_packets: float = 8192.0,
+        contention_factor: float = 0.15,
+        seed: int = 0,
+    ) -> None:
+        if capacity_pps <= 0:
+            raise ValueError("capacity must be positive")
+        if contention_factor < 0:
+            raise ValueError("contention factor must be non-negative")
+        ordered = sorted(phases, key=lambda p: p.start_s)
+        for a, b in zip(ordered, ordered[1:]):
+            if b.start_s < a.end_s:
+                raise ValueError("load phases overlap")
+        self.base_latency = base_latency
+        self.capacity_pps = capacity_pps
+        self.buffer_packets = buffer_packets
+        self.contention_factor = contention_factor
+        self.phases = ordered
+        self._rng = random.Random(seed)
+        self._backlog_at_start = self._integrate_backlog()
+
+    def _integrate_backlog(self) -> List[float]:
+        """Fluid backlog (packets) at the start of each phase."""
+        backlog = 0.0
+        result: List[float] = []
+        prev_end: Optional[float] = None
+        for phase in self.phases:
+            if prev_end is not None and phase.start_s > prev_end:
+                # Idle gap: the queue drains at full service rate.
+                drain = (phase.start_s - prev_end) * self.capacity_pps
+                backlog = max(0.0, backlog - drain)
+            result.append(backlog)
+            net = phase.rate_pps - self.capacity_pps
+            backlog = backlog + net * (phase.end_s - phase.start_s)
+            backlog = min(self.buffer_packets, max(0.0, backlog))
+            prev_end = phase.end_s
+        return result
+
+    # -- queries --------------------------------------------------------------
+
+    def offered_load_at(self, t: float) -> float:
+        for phase in self.phases:
+            if phase.start_s <= t < phase.end_s:
+                return phase.rate_pps
+        return 0.0
+
+    def utilization_at(self, t: float) -> float:
+        """Service utilization rho in [0, 1] (CPU utilization, Figure 1b)."""
+        return min(1.0, self.offered_load_at(t) / self.capacity_pps)
+
+    def backlog_at(self, t: float) -> float:
+        """Fluid backlog in packets at time ``t``."""
+        backlog = 0.0
+        prev_end: Optional[float] = None
+        for index, phase in enumerate(self.phases):
+            if t < phase.start_s:
+                break
+            backlog = self._backlog_at_start[index]
+            horizon = min(t, phase.end_s)
+            net = phase.rate_pps - self.capacity_pps
+            backlog += net * (horizon - phase.start_s)
+            backlog = min(self.buffer_packets, max(0.0, backlog))
+            prev_end = phase.end_s
+            if t < phase.end_s:
+                return backlog
+        if prev_end is not None and t >= prev_end:
+            drain = (t - prev_end) * self.capacity_pps
+            backlog = max(0.0, backlog - drain)
+        return backlog
+
+    def is_dropping_at(self, t: float) -> bool:
+        """True when the buffer is full and load exceeds capacity."""
+        return (
+            self.backlog_at(t) >= self.buffer_packets - 1e-9
+            and self.offered_load_at(t) > self.capacity_pps
+        )
+
+    def drop_probability_at(self, t: float) -> float:
+        """Probability an arriving packet is tail-dropped: once the buffer
+        is full, the excess fraction (lambda - mu)/lambda is lost; the
+        rest is served at ~buffer_packets/mu of delay."""
+        if not self.is_dropping_at(t):
+            return 0.0
+        rate = self.offered_load_at(t)
+        return max(0.0, (rate - self.capacity_pps) / rate)
+
+    def stationary_wait(self, t: float, rng: random.Random) -> float:
+        """A sample of the stationary M/M/1 waiting time at current load:
+        zero with probability 1 - rho, else Exp(mu - lambda)."""
+        rate = self.offered_load_at(t)
+        rho = rate / self.capacity_pps
+        if rho >= 1.0 or rho <= 0.0:
+            return 0.0
+        if rng.random() >= rho:
+            return 0.0
+        return rng.expovariate(self.capacity_pps - rate)
+
+    def contention_multiplier(self, t: float) -> float:
+        """CPU-contention inflation of the software path at load: softirq
+        scheduling and cache pressure stretch per-packet processing as the
+        core fills, roughly like 1 + k*rho/(1-rho) (clamped) — this is
+        what makes the 400K/450K pps CDFs of Figure 1a visibly worse even
+        before queueing dominates."""
+        if self.contention_factor == 0.0:
+            return 1.0
+        rho = min(self.utilization_at(t), 0.97)
+        return min(6.0, 1.0 + self.contention_factor * rho / (1.0 - rho))
+
+    def latency_sample(self, t: float, rng: Optional[random.Random] = None) -> float:
+        """Added one-way latency of a packet arriving at ``t``: base
+        processing (inflated by CPU contention) + fluid backlog wait +
+        stationary queueing jitter."""
+        rng = rng if rng is not None else self._rng
+        backlog_wait = self.backlog_at(t) / self.capacity_pps
+        return (
+            self.base_latency.sample(rng) * self.contention_multiplier(t)
+            + backlog_wait
+            + self.stationary_wait(t, rng)
+        )
+
+
+def smux_station(
+    phases: Sequence[LoadPhase],
+    *,
+    capacity_pps: float = SMUX_CAPACITY_PPS,
+    seed: int = 0,
+) -> MuxStation:
+    """An SMux station with the paper's capacity and latency laws."""
+    return MuxStation(
+        SMUX_BASE_LATENCY, capacity_pps, phases, seed=seed
+    )
+
+
+def hmux_station(
+    phases: Sequence[LoadPhase],
+    *,
+    link_gbps: float = 10.0,
+    packet_bytes: int = 512,
+    seed: int = 0,
+) -> MuxStation:
+    """An HMux station: line-rate service, so its capacity in pps is the
+    link rate over the packet size ("it can handle packets at line rate,
+    and no queue buildup will occur till we exceed the link capacity")."""
+    capacity = link_gbps * 1e9 / (packet_bytes * 8)
+    return MuxStation(
+        HMUX_BASE_LATENCY, capacity, phases,
+        buffer_packets=64 * 1024,
+        contention_factor=0.0,  # ASIC pipeline: no CPU contention
+        seed=seed,
+    )
+
+
+def smux_cpu_utilization(rate_pps: float, capacity_pps: float = SMUX_CAPACITY_PPS) -> float:
+    """CPU utilization percentage at an offered load (Figure 1b):
+    proportional until the core saturates at 100%."""
+    if rate_pps < 0:
+        raise ValueError("rate must be non-negative")
+    return min(100.0, 100.0 * rate_pps / capacity_pps)

@@ -1,0 +1,126 @@
+"""Packet/flow generation for the discrete-event experiments.
+
+The testbed experiments (Figures 1 and 11-13) drive muxes with packet
+streams at controlled rates and measure latency with periodic pings.
+This module provides deterministic, seeded generators for both.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.dataplane.packet import (
+    DEFAULT_PACKET_BYTES,
+    FiveTuple,
+    PROTO_ICMP,
+    PROTO_TCP,
+    PROTO_UDP,
+    Packet,
+)
+from repro.workload.vips import CLIENT_POOL
+
+
+@dataclass(frozen=True)
+class TimedPacket:
+    """A packet with its arrival time (seconds)."""
+
+    time_s: float
+    packet: Packet
+
+
+class PoissonPacketStream:
+    """Poisson arrivals of UDP packets to a set of VIPs.
+
+    Mirrors the paper's Figure 11 setup ("we send UDP traffic to 10 of
+    the VIPs"): each packet goes to a uniformly chosen VIP from a fresh
+    random flow, so traffic hashes across all mux ECMP entries.
+    """
+
+    def __init__(
+        self,
+        vips: Sequence[int],
+        rate_pps: float,
+        *,
+        packet_bytes: int = DEFAULT_PACKET_BYTES,
+        flows_per_vip: int = 64,
+        seed: int = 0,
+    ) -> None:
+        if not vips:
+            raise ValueError("need at least one destination VIP")
+        if rate_pps <= 0:
+            raise ValueError("rate must be positive")
+        self.vips = list(vips)
+        self.rate_pps = rate_pps
+        self.packet_bytes = packet_bytes
+        self.seed = seed
+        self._flows = self._make_flows(flows_per_vip)
+
+    def _make_flows(self, flows_per_vip: int) -> List[FiveTuple]:
+        rng = random.Random(self.seed)
+        flows: List[FiveTuple] = []
+        for vip in self.vips:
+            for _ in range(flows_per_vip):
+                client = CLIENT_POOL.network + rng.randrange(1 << 18)
+                flows.append(FiveTuple(
+                    src_ip=client,
+                    dst_ip=vip,
+                    src_port=rng.randrange(1024, 65536),
+                    dst_port=80,
+                    protocol=PROTO_UDP,
+                ))
+        return flows
+
+    def generate(self, start_s: float, end_s: float) -> Iterator[TimedPacket]:
+        """Packets with exponential inter-arrival times in [start, end)."""
+        rng = random.Random((self.seed << 16) ^ 0xFACE)
+        now = start_s
+        while True:
+            now += rng.expovariate(self.rate_pps)
+            if now >= end_s:
+                return
+            flow = self._flows[rng.randrange(len(self._flows))]
+            yield TimedPacket(now, Packet(flow, size_bytes=self.packet_bytes))
+
+
+class PingProbe:
+    """Periodic ICMP-style probes to one VIP (the paper pings every 3 ms
+    to measure availability and added latency, Figures 11-13)."""
+
+    def __init__(
+        self,
+        vip: int,
+        interval_s: float = 0.003,
+        *,
+        client_ip: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError("interval must be positive")
+        rng = random.Random(seed)
+        self.vip = vip
+        self.interval_s = interval_s
+        self.client_ip = (
+            client_ip if client_ip is not None
+            else CLIENT_POOL.network + rng.randrange(1 << 18)
+        )
+        self._seq_port = rng.randrange(1024, 60000)
+
+    def generate(self, start_s: float, end_s: float) -> Iterator[TimedPacket]:
+        """One probe every interval; each probe is its own flow so that
+        per-flow ECMP re-rolls (sequence number in the source port)."""
+        n = 0
+        while True:
+            t = start_s + n * self.interval_s
+            if t >= end_s:
+                return
+            flow = FiveTuple(
+                src_ip=self.client_ip,
+                dst_ip=self.vip,
+                src_port=(self._seq_port + n) % 65536,
+                dst_port=7,  # echo
+                protocol=PROTO_ICMP,
+            )
+            yield TimedPacket(t, Packet(flow, size_bytes=64))
+            n += 1

@@ -1,0 +1,100 @@
+"""Tests for repro.experiments.ablations at tiny scale."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ALL_ABLATIONS,
+    decomposition_ablation,
+    headroom_sweep,
+    ordering_ablation,
+    refinement_ablation,
+    replication_ablation,
+    sticky_delta_sweep,
+)
+from repro.experiments.common import ExperimentScale
+from repro.net.topology import FatTreeParams
+from repro.workload.distributions import DipCountModel, TrafficSkew
+
+
+@pytest.fixture(scope="module")
+def tiny_scale():
+    return ExperimentScale(
+        name="tiny",
+        params=FatTreeParams(
+            n_containers=2, tors_per_container=3,
+            aggs_per_container=2, n_cores=2, servers_per_tor=8,
+        ),
+        n_vips=30,
+        skew=TrafficSkew(head_cap=0.15),
+        dip_model=DipCountModel(median_large=6.0, max_dips=12),
+        seed=0,
+    )
+
+
+class TestStickyDelta:
+    def test_monotone_shuffle(self, tiny_scale):
+        result = sticky_delta_sweep(
+            tiny_scale, deltas=(0.0, 0.25), n_epochs=4,
+        )
+        assert result.data["delta=0.25"][1] <= result.data["delta=0.0"][1]
+        assert "delta" in result.render()
+
+
+class TestHeadroom:
+    def test_reservation_absorbs_failures(self, tiny_scale):
+        result = headroom_sweep(tiny_scale, headrooms=(1.0, 0.8))
+        _n, worst_80 = result.data["headroom=0.8"]
+        assert worst_80 <= 1.0
+        assert "headroom" in result.render() or "reserved" in result.render()
+
+
+class TestDecomposition:
+    def test_quality_preserved(self, tiny_scale):
+        result = decomposition_ablation(tiny_scale)
+        _t_ex, mru_ex = result.data["exhaustive"]
+        _t_dc, mru_dc = result.data["container-best-tor"]
+        assert mru_dc <= mru_ex * 1.5 + 0.05
+
+
+class TestOrdering:
+    def test_all_orders_run(self, tiny_scale):
+        result = ordering_ablation(tiny_scale)
+        assert set(result.data) == {
+            "traffic-desc", "traffic-asc", "dips-desc", "random",
+        }
+        assert all(0.0 <= cov <= 1.0 + 1e-9 for cov in result.data.values())
+
+
+class TestReplication:
+    def test_memory_exposure_tradeoff(self, tiny_scale):
+        result = replication_ablation(tiny_scale, replica_counts=(1, 2))
+        mem1, exp1 = result.data["k=1"]
+        mem2, exp2 = result.data["k=2"]
+        assert mem2 > mem1
+        assert exp2 <= exp1
+
+
+class TestRefinement:
+    def test_never_worse(self, tiny_scale):
+        result = refinement_ablation(tiny_scale)
+        for before, after in result.data.values():
+            assert after <= before + 1e-12
+
+
+class TestLatencyFirst:
+    def test_sensitive_coverage_never_worse(self, tiny_scale):
+        from repro.experiments.ablations import latency_first_ablation
+
+        result = latency_first_ablation(tiny_scale, traffic_factor=2.5)
+        assert (
+            result.data["latency-first"]
+            >= result.data["traffic-desc"] - 1e-9
+        )
+
+
+class TestRegistry:
+    def test_all_registered(self):
+        assert set(ALL_ABLATIONS) == {
+            "sticky-delta", "headroom", "decomposition",
+            "ordering", "replication", "refinement", "latency-first",
+        }

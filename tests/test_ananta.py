@@ -1,0 +1,90 @@
+"""Tests for repro.ananta: the software-only baseline."""
+
+import pytest
+
+from repro.ananta import AnantaError, AnantaLoadBalancer, required_smuxes
+from repro.dataplane.packet import make_tcp_packet
+from repro.dataplane.smux import SMUX_CAPACITY_BPS
+from repro.workload.vips import CLIENT_POOL
+
+
+@pytest.fixture()
+def ananta(fresh_tiny_population):
+    return AnantaLoadBalancer(fresh_tiny_population, n_smuxes=4)
+
+
+def client_packet(vip_addr, i=0):
+    return make_tcp_packet(CLIENT_POOL.network + i, vip_addr, 1000 + i, 80)
+
+
+class TestSizing:
+    def test_required_smuxes(self):
+        assert required_smuxes(SMUX_CAPACITY_BPS * 3) == 3
+
+    def test_redundancy(self):
+        assert required_smuxes(SMUX_CAPACITY_BPS * 3, redundancy=2) == 4
+
+    def test_minimum_one(self):
+        assert required_smuxes(0.0) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(AnantaError):
+            required_smuxes(-1.0)
+
+
+class TestForwarding:
+    def test_end_to_end(self, ananta):
+        vip = ananta.population.vips[0]
+        delivered, smux_id = ananta.forward(client_packet(vip.addr))
+        assert delivered.flow.dst_ip in {d.addr for d in vip.dips}
+        assert 0 <= smux_id < 4
+
+    def test_every_smux_has_all_vips(self, ananta):
+        """Ananta: 'Each SMux stores the VIP to DIP mappings for all the
+        VIPs configured in the DC' (S2.1)."""
+        for smux in ananta.smuxes:
+            assert len(smux.vips()) == len(ananta.population)
+
+    def test_unknown_vip_rejected(self, ananta):
+        from repro.net.bgp import RouteResolutionError
+
+        # An address outside the aggregate has no route at all; one inside
+        # the aggregate but unknown to the SMuxes is dropped there.
+        with pytest.raises(RouteResolutionError):
+            ananta.forward(client_packet(0x7F000001))
+        from repro.workload.vips import VIP_POOL
+
+        with pytest.raises(AnantaError):
+            ananta.forward(client_packet(VIP_POOL.last_address))
+
+    def test_flow_affinity(self, ananta):
+        vip = ananta.population.vips[0]
+        first, _ = ananta.forward(client_packet(vip.addr, 3))
+        again, _ = ananta.forward(client_packet(vip.addr, 3))
+        assert first.flow.dst_ip == again.flow.dst_ip
+
+
+class TestEcmpSpread:
+    def test_flows_spread_over_fleet(self, ananta):
+        split = ananta.smux_load_split(n_packets=2000)
+        assert set(split) == {0, 1, 2, 3}
+        assert min(split.values()) > 2000 / 4 * 0.5
+
+    def test_failure_respreads(self, ananta):
+        ananta.fail_smux(0)
+        split = ananta.smux_load_split(n_packets=1000)
+        assert 0 not in split or split[0] == 0
+        assert sum(split.values()) == 1000
+
+    def test_cannot_fail_last(self, fresh_tiny_population):
+        lb = AnantaLoadBalancer(fresh_tiny_population, n_smuxes=1)
+        with pytest.raises(AnantaError):
+            lb.fail_smux(0)
+
+    def test_fail_unknown(self, ananta):
+        with pytest.raises(AnantaError):
+            ananta.fail_smux(42)
+
+    def test_needs_a_smux(self, fresh_tiny_population):
+        with pytest.raises(AnantaError):
+            AnantaLoadBalancer(fresh_tiny_population, n_smuxes=0)

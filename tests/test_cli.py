@@ -1,0 +1,104 @@
+"""Tests for repro.cli."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments import ALL_FIGURES
+
+
+class TestList:
+    def test_lists_every_figure(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ALL_FIGURES:
+            assert name in out
+
+
+class TestTopology:
+    def test_describes(self, capsys):
+        assert main([
+            "topology", "--containers", "2", "--tors", "2",
+            "--aggs", "2", "--cores", "2", "--servers", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "switches:  10" in out
+        assert "servers:   16" in out
+
+    def test_invalid_topology(self, capsys):
+        # cores not a multiple of aggs-per-container.
+        assert main([
+            "topology", "--aggs", "3", "--cores", "4",
+        ]) == 2
+        assert "invalid topology" in capsys.readouterr().err
+
+
+class TestFigures:
+    def test_runs_a_cheap_figure(self, capsys):
+        assert main(["figures", "fig14"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 14" in out
+        assert "completed" in out
+
+    def test_unknown_figure(self, capsys):
+        assert main(["figures", "fig99"]) == 2
+        assert "unknown figures" in capsys.readouterr().err
+
+    def test_no_figures_requested(self, capsys):
+        assert main(["figures"]) == 2
+
+    def test_scaled_figure_accepts_scale(self, capsys):
+        assert main(["figures", "fig15", "--scale", "small"]) == 0
+        assert "Figure 15" in capsys.readouterr().out
+
+
+class TestQuickstart:
+    def test_runs(self, capsys):
+        assert main(["quickstart", "--vips", "20"]) == 0
+        out = capsys.readouterr().out
+        assert "HMux coverage" in out
+        assert "SMuxes" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestWorkloadCommands:
+    def test_generate_and_info(self, tmp_path, capsys):
+        out = tmp_path / "pop.json"
+        trace = tmp_path / "trace.json"
+        assert main([
+            "workload", "generate", "--out", str(out),
+            "--vips", "20", "--tbps", "0.05",
+            "--trace-out", str(trace), "--epochs", "3",
+        ]) == 0
+        assert out.exists() and trace.exists()
+        capsys.readouterr()
+        assert main(["workload", "info", str(out)]) == 0
+        info = capsys.readouterr().out
+        assert "VIPs:      20" in info
+
+    def test_generate_invalid_topology(self, tmp_path, capsys):
+        assert main([
+            "workload", "generate", "--out", str(tmp_path / "x.json"),
+            "--aggs", "3", "--cores", "4",
+        ]) == 2
+
+    def test_info_missing_file(self, tmp_path, capsys):
+        assert main(["workload", "info", str(tmp_path / "no.json")]) == 2
+
+    def test_roundtrip_through_cli_files(self, tmp_path):
+        from repro.workload import load_population, load_trace
+
+        out = tmp_path / "pop.json"
+        trace = tmp_path / "trace.json"
+        main([
+            "workload", "generate", "--out", str(out),
+            "--vips", "15", "--trace-out", str(trace), "--epochs", "2",
+        ])
+        population = load_population(out)
+        epochs = load_trace(trace, population)
+        assert len(population) == 15
+        assert len(epochs) == 2

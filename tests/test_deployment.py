@@ -1,0 +1,59 @@
+"""Tests for repro.sim.deployment: fleet-level latency (Figure 17)."""
+
+import pytest
+
+from repro.sim.deployment import DeploymentLatencyConfig, DeploymentLatencyModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return DeploymentLatencyModel(DeploymentLatencyConfig(n_samples=1500))
+
+
+TRAFFIC = 1e12  # 1 Tbps
+
+
+class TestAnantaCurve:
+    def test_latency_decreases_with_fleet_size(self, model):
+        few = model.ananta_median_rtt_s(TRAFFIC, 50)
+        many = model.ananta_median_rtt_s(TRAFFIC, 2000)
+        assert many < few
+
+    def test_saturated_fleet_is_milliseconds(self, model):
+        # 1 Tbps over 50 SMuxes: ~1.7 Mpps each, far past 300K.
+        assert model.ananta_median_rtt_s(TRAFFIC, 50) > 5e-3
+
+    def test_unsaturated_fleet_sub_millisecond(self, model):
+        # 1 Tbps over 2000 SMuxes: ~42 Kpps each.
+        assert model.ananta_median_rtt_s(TRAFFIC, 2000) < 1.5e-3
+
+    def test_fleet_size_validation(self, model):
+        with pytest.raises(ValueError):
+            model.ananta_rtts(TRAFFIC, 0)
+
+
+class TestDuetLatency:
+    def test_duet_near_network_rtt(self, model):
+        """With ~full HMux coverage, Duet's median is basically the DC
+        RTT (the paper's 474 us point vs 381 us median RTT)."""
+        median = model.duet_median_rtt_s(TRAFFIC, 0.99, 20)
+        assert 300e-6 <= median <= 700e-6
+
+    def test_duet_beats_equal_sized_ananta(self, model):
+        """Figure 17's headline: at Duet's own fleet size, Ananta is an
+        order of magnitude slower."""
+        n = 20
+        duet = model.duet_median_rtt_s(TRAFFIC, 0.97, n)
+        ananta = model.ananta_median_rtt_s(TRAFFIC, n)
+        assert ananta > duet * 10
+
+    def test_low_coverage_degrades(self, model):
+        good = model.duet_median_rtt_s(TRAFFIC, 0.99, 10)
+        bad = model.duet_median_rtt_s(TRAFFIC, 0.10, 10)
+        assert bad > good
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            model.duet_rtts(TRAFFIC, 1.5, 10)
+        with pytest.raises(ValueError):
+            model.duet_rtts(TRAFFIC, 0.5, 0)

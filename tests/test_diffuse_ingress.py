@@ -1,0 +1,154 @@
+"""Tests for diffuse (DC-wide) ingress of high-volume VIPs."""
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import GreedyAssigner, LoadCalculator
+from repro.core.provisioning import surviving_vip_traffic
+from repro.net.failures import container_failure
+from repro.net.topology import FatTreeParams, Topology
+from repro.workload.distributions import IngressModel
+from repro.workload.vips import VipDemand, generate_population
+
+
+@pytest.fixture(scope="module")
+def topology():
+    return Topology(FatTreeParams(
+        n_containers=3, tors_per_container=3,
+        aggs_per_container=2, n_cores=2, servers_per_tor=8,
+    ))
+
+
+def diffuse_demand(traffic=10e9, dips=8, tor=0):
+    return VipDemand(
+        vip_id=0,
+        addr=0x0A000001,
+        traffic_bps=traffic,
+        n_dips=dips,
+        ingress_racks=(),        # diffuse: no explicit client racks
+        internet_fraction=0.3,
+        dip_tors=((tor, dips),),
+    )
+
+
+class TestModel:
+    def test_threshold(self):
+        model = IngressModel(diffuse_above_bps=20e9)
+        assert model.is_diffuse(25e9)
+        assert not model.is_diffuse(5e9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IngressModel(diffuse_above_bps=0.0)
+
+    def test_diffuse_fraction_property(self):
+        d = diffuse_demand()
+        assert d.diffuse_intra_fraction == pytest.approx(0.7)
+
+    def test_explicit_racks_have_no_diffuse_residual(self, topology):
+        population = generate_population(
+            topology, n_vips=10, total_traffic_bps=5e9, seed=1,
+        )
+        for demand in population.demands():
+            assert demand.diffuse_intra_fraction == pytest.approx(
+                0.0, abs=1e-9
+            )
+
+    def test_generator_marks_elephants_diffuse(self, topology):
+        from repro.workload.distributions import IngressModel as IM
+
+        population = generate_population(
+            topology, n_vips=10, total_traffic_bps=100e9,
+            ingress=IM(diffuse_above_bps=5e9),
+            seed=2,
+        )
+        big = [v for v in population if v.traffic_bps >= 5e9]
+        assert big
+        for vip in big:
+            assert vip.ingress_racks == ()
+            assert vip.demand().diffuse_intra_fraction == pytest.approx(0.7)
+
+
+class TestLoadPricing:
+    def test_traffic_conserved_into_candidate(self, topology):
+        calc = LoadCalculator(topology, link_headroom=1.0)
+        demand = diffuse_demand(traffic=8e9, tor=topology.tors()[0])
+        candidate = topology.cores()[0]
+        idx, util = calc.load_vector(demand, candidate)
+        into = sum(
+            u * topology.links[i].capacity
+            for i, u in zip(idx, util)
+            if topology.links[i].dst == candidate
+        )
+        # All diffuse ingress (70%) arrives over links; of the internet
+        # share (30%), the part entering the DC at the candidate core
+        # itself (1/n_cores) never crosses a link.
+        n_cores = len(topology.cores())
+        expected = 8e9 * (0.7 + 0.3 * (n_cores - 1) / n_cores)
+        assert into == pytest.approx(expected, rel=0.01)
+
+    def test_diffuse_spreads_wider_than_racks(self, topology):
+        """Ingress-side peak: one 70%-of-traffic client rack loads its
+        uplink far more than DC-wide diffuse sourcing loads any link."""
+        calc = LoadCalculator(topology)
+        candidate = topology.cores()[0]
+        dip_rack = topology.tors()[0]
+        client_rack = topology.tors()[1]
+
+        def ingress_peak(demand):
+            idx, util = calc.load_vector(demand, candidate)
+            peak = 0.0
+            for i, u in zip(idx.tolist(), util.tolist()):
+                # Only uplinks out of client racks (ingress side).
+                if topology.links[i].src != dip_rack and (
+                    topology.links[i].dst != dip_rack
+                ):
+                    peak = max(peak, u)
+            return peak
+
+        diffuse = diffuse_demand(traffic=8e9, tor=dip_rack)
+        concentrated = VipDemand(
+            vip_id=1, addr=0x0A000002, traffic_bps=8e9, n_dips=8,
+            ingress_racks=((client_rack, 0.7),),
+            internet_fraction=0.3,
+            dip_tors=((dip_rack, 8),),
+        )
+        assert ingress_peak(diffuse) < ingress_peak(concentrated)
+
+    def test_assignment_accepts_diffuse_elephant(self, topology):
+        demand = diffuse_demand(
+            traffic=12e9, dips=24, tor=topology.tors()[2],
+        )
+        assignment = GreedyAssigner(topology).assign([demand])
+        assert assignment.n_assigned == 1
+        assert assignment.mru <= 1.0
+
+    def test_cached_template_reused(self, topology):
+        calc = LoadCalculator(topology)
+        d = diffuse_demand()
+        calc.load_vector(d, topology.cores()[0])
+        first = calc._diffuse_cache[topology.cores()[0]]
+        calc.load_vector(d, topology.cores()[0])
+        assert calc._diffuse_cache[topology.cores()[0]] is first
+
+
+class TestFailureSemantics:
+    def test_container_failure_reduces_diffuse_ingress(self, topology):
+        demand = diffuse_demand(tor=topology.tors(1)[0])
+        scenario = container_failure(topology, 0)
+        survived = surviving_vip_traffic(demand, scenario, topology)
+        # One of three containers' racks died: a third of the diffuse
+        # intra traffic disappears; internet ingress survives.
+        expected = demand.traffic_bps * (0.3 + 0.7 * (2 / 3))
+        assert survived == pytest.approx(expected)
+
+    def test_linkload_places_diffuse(self, topology):
+        from repro.core.assignment import GreedyAssigner
+        from repro.core.linkload import LinkUtilizationComputer
+
+        demand = diffuse_demand(traffic=6e9, tor=topology.tors(2)[0])
+        assignment = GreedyAssigner(topology).assign([demand])
+        computer = LinkUtilizationComputer(topology)
+        report = computer.compute(assignment)
+        assert report.max_utilization > 0
+        assert report.dead_traffic_bps == 0.0

@@ -1,0 +1,36 @@
+"""Smoke tests: the fast example scripts run end to end.
+
+The slow examples (trace_replay, capacity_planning, paper_scale_run)
+are exercised by the benchmark suite's equivalents instead; running them
+here would double the test suite's duration.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+@pytest.mark.parametrize("script, expected", [
+    ("quickstart.py", "provisioning:"),
+    ("failover_demo.py", "connection preservation:"),
+    ("advanced_dataplane.py", "WCMP"),
+])
+def test_example_runs(script, expected):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True, text=True, timeout=240,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert expected in result.stdout
+
+
+def test_all_examples_present():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py", "failover_demo.py", "advanced_dataplane.py",
+        "trace_replay.py", "capacity_planning.py", "paper_scale_run.py",
+    } <= names

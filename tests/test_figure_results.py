@@ -1,0 +1,137 @@
+"""Tests for the figure-result helper APIs (beyond the smoke shapes)."""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentScale,
+    fig11_hmux_capacity,
+    fig16_smux_reduction,
+    fig17_latency_vs_smux,
+    fig20_migration,
+)
+from repro.net.topology import FatTreeParams
+from repro.sim.scenarios import HMuxCapacityConfig
+from repro.workload.distributions import DipCountModel, TrafficSkew
+from repro.workload.trace import TraceConfig
+
+
+@pytest.fixture(scope="module")
+def tiny_scale():
+    return ExperimentScale(
+        name="tiny",
+        params=FatTreeParams(
+            n_containers=2, tors_per_container=3,
+            aggs_per_container=2, n_cores=2, servers_per_tor=8,
+        ),
+        n_vips=40,
+        skew=TrafficSkew(head_cap=0.12),
+        dip_model=DipCountModel(median_large=6.0, max_dips=12),
+        seed=0,
+    )
+
+
+class TestFig11Helpers:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig11_hmux_capacity.run(HMuxCapacityConfig(phase_seconds=2.0))
+
+    def test_phase_windows_cover_run(self, result):
+        windows = result.phase_windows()
+        assert len(windows) == 3
+        assert windows[0][1] == 0.0
+        assert windows[-1][2] == pytest.approx(6.0)
+
+    def test_rows_one_per_phase(self, result):
+        assert len(result.rows()) == 3
+
+    def test_timeline_sparkline_present(self, result):
+        text = result.latency_timeline()
+        assert "latency" in text
+        assert any(ch in text for ch in "▁▂▃▄▅▆▇█")
+
+
+class TestFig16Helpers:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_scale):
+        nominal = tiny_scale.params.n_servers * 300e6
+        return fig16_smux_reduction.run(tiny_scale, [nominal])
+
+    def test_reduction_ratios(self, result):
+        point = result.points[0]
+        assert point.reduction_36 == pytest.approx(
+            point.ananta_36 / point.duet_36.n_smuxes
+        )
+        assert point.reduction_10g >= 1.0
+
+    def test_rows_match_points(self, result):
+        assert len(result.rows()) == len(result.points)
+
+    def test_assignment_attached(self, result):
+        assert result.points[0].assignment.n_assigned >= 0
+
+
+class TestFig17Helpers:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_scale):
+        return fig17_latency_vs_smux.run(
+            tiny_scale, ananta_sweep=[2, 8, 64, 512],
+        )
+
+    def test_median_lookup_interpolates(self, result):
+        first = result.ananta_curve[0]
+        assert result.ananta_median_at(first[0]) == first[1]
+        # Beyond the sweep: clamps to the last point.
+        assert result.ananta_median_at(10_000) == result.ananta_curve[-1][1]
+
+    def test_parity_fleet_size(self, result):
+        parity = result.ananta_parity_smuxes(tolerance=1000.0)
+        assert parity == result.ananta_curve[0][0]  # everything qualifies
+        strict = result.ananta_parity_smuxes(tolerance=1.0001)
+        if strict is not None:
+            assert result.ananta_median_at(strict) <= (
+                result.duet_median_s * 1.0001
+            )
+
+    def test_rows_include_duet_point(self, result):
+        assert result.rows()[0][0] == "duet"
+
+
+class TestFig20Helpers:
+    @pytest.fixture(scope="class")
+    def result(self, tiny_scale):
+        return fig20_migration.run(
+            tiny_scale, TraceConfig(n_epochs=3), traffic_factor=1.2,
+        )
+
+    def test_track_lengths(self, result):
+        for track in result.tracks.values():
+            assert len(track.coverage) == 3
+            assert len(track.shuffled) == 3
+
+    def test_mean_shuffled_skips_initial_epoch(self, result):
+        track = result.tracks["non-sticky"]
+        expected = sum(track.shuffled[1:]) / 2
+        assert track.mean_shuffled == pytest.approx(expected)
+
+    def test_migration_peak_excludes_bootstrap(self, result):
+        track = result.tracks["sticky"]
+        assert track.peak_migration_bps <= max(
+            track.migration_peaks_bps[1:] + [0.0]
+        ) + 1e-9
+
+    def test_smux_counts_complete(self, result):
+        assert set(result.smux_counts) == {
+            "sticky", "non-sticky", "one-time", "ananta",
+        }
+
+
+class TestAblationTable:
+    def test_render_includes_title_and_rows(self):
+        from repro.experiments.ablations import AblationTable
+
+        table = AblationTable(
+            title="T", headers=("a", "b"), rows=[("1", "2")],
+        )
+        text = table.render()
+        assert text.splitlines()[0] == "T"
+        assert "1" in text

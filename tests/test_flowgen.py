@@ -1,0 +1,66 @@
+"""Tests for repro.workload.flowgen: packet streams and ping probes."""
+
+import pytest
+
+from repro.dataplane.packet import PROTO_ICMP, PROTO_UDP
+from repro.workload.flowgen import PingProbe, PoissonPacketStream
+from repro.net.addressing import parse_ip
+
+VIPS = [parse_ip("10.0.0.1"), parse_ip("10.0.0.2")]
+
+
+class TestPoissonStream:
+    def test_rate_approximately_met(self):
+        stream = PoissonPacketStream(VIPS, rate_pps=2000.0, seed=1)
+        packets = list(stream.generate(0.0, 5.0))
+        assert len(packets) == pytest.approx(10_000, rel=0.1)
+
+    def test_times_ordered_and_bounded(self):
+        stream = PoissonPacketStream(VIPS, rate_pps=500.0, seed=2)
+        times = [p.time_s for p in stream.generate(1.0, 2.0)]
+        assert times == sorted(times)
+        assert all(1.0 <= t < 2.0 for t in times)
+
+    def test_targets_all_vips(self):
+        stream = PoissonPacketStream(VIPS, rate_pps=1000.0, seed=3)
+        targets = {p.packet.flow.dst_ip for p in stream.generate(0.0, 1.0)}
+        assert targets == set(VIPS)
+
+    def test_udp_packets(self):
+        stream = PoissonPacketStream(VIPS, rate_pps=100.0, seed=4)
+        packet = next(iter(stream.generate(0.0, 1.0))).packet
+        assert packet.flow.protocol == PROTO_UDP
+
+    def test_deterministic(self):
+        a = list(PoissonPacketStream(VIPS, 100.0, seed=5).generate(0, 1))
+        b = list(PoissonPacketStream(VIPS, 100.0, seed=5).generate(0, 1))
+        assert [p.time_s for p in a] == [p.time_s for p in b]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonPacketStream([], 100.0)
+        with pytest.raises(ValueError):
+            PoissonPacketStream(VIPS, 0.0)
+
+
+class TestPingProbe:
+    def test_cadence(self):
+        probe = PingProbe(VIPS[0], interval_s=0.003)
+        probes = list(probe.generate(0.0, 0.03))
+        assert len(probes) == 10
+        assert probes[1].time_s - probes[0].time_s == pytest.approx(0.003)
+
+    def test_each_probe_new_flow(self):
+        probe = PingProbe(VIPS[0])
+        flows = {p.packet.flow for p in probe.generate(0.0, 0.05)}
+        assert len(flows) == len(list(PingProbe(VIPS[0]).generate(0.0, 0.05)))
+
+    def test_icmp_like(self):
+        probe = PingProbe(VIPS[0])
+        packet = next(iter(probe.generate(0.0, 0.01))).packet
+        assert packet.flow.protocol == PROTO_ICMP
+        assert packet.flow.dst_ip == VIPS[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PingProbe(VIPS[0], interval_s=0.0)

@@ -1,0 +1,116 @@
+"""One narrative integration test exercising the whole library together:
+serialize a workload, rebuild a deployment from disk, serve traffic,
+survive failures, rebalance, and verify the Figure-16-style economics.
+"""
+
+import pytest
+
+from repro.core import (
+    DuetController,
+    ananta_smux_count,
+    duet_provisioning,
+    find_capacity,
+)
+from repro.dataplane.packet import make_tcp_packet
+from repro.net.bgp import MuxKind
+from repro.net.topology import FatTreeParams, Topology
+from repro.workload import (
+    CLIENT_POOL,
+    TraceConfig,
+    TraceGenerator,
+    generate_population,
+    load_population,
+    load_trace,
+    save_population,
+    save_trace,
+)
+from repro.workload.distributions import DipCountModel
+
+
+def client_packet(vip_addr, i=0):
+    return make_tcp_packet(CLIENT_POOL.network + i, vip_addr, 4000 + i, 80)
+
+
+def test_day_in_the_life(tmp_path):
+    # --- Day 0: plan and freeze the workload. -------------------------------
+    topology = Topology(FatTreeParams(
+        n_containers=3, tors_per_container=3,
+        aggs_per_container=2, n_cores=2, servers_per_tor=8,
+    ))
+    population = generate_population(
+        topology, n_vips=25,
+        total_traffic_bps=topology.params.n_servers * 250e6,
+        dip_model=DipCountModel(median_large=6.0, max_dips=12),
+        heterogeneous_fraction=0.2,
+        latency_sensitive_fraction=0.2,
+        seed=99,
+    )
+    pop_path = save_population(population, tmp_path / "pop.json")
+    epochs = TraceGenerator(
+        population, TraceConfig(n_epochs=4), seed=99,
+    ).epochs()
+    trace_path = save_trace(epochs, tmp_path / "trace.json")
+
+    # --- Day 1: stand the deployment up from the frozen files. ---------------
+    population = load_population(pop_path)
+    epochs = load_trace(trace_path, population)
+    provision_preview = find_capacity(
+        population.topology, population.demands(), coverage_target=0.95,
+    )
+    assert provision_preview.max_traffic_bps > 0
+
+    controller = DuetController(
+        population.topology, population, n_smuxes=3,
+    )
+    assignment = controller.run_initial_assignment()
+    assert assignment.hmux_traffic_fraction() > 0.9
+
+    # The economics headline holds on this deployment too.
+    duet = duet_provisioning(assignment, population.topology)
+    assert duet.n_smuxes < ananta_smux_count(population.total_traffic_bps)
+
+    # Traffic flows; flows are sticky.
+    pins = {}
+    for vip in population:
+        delivered, _ = controller.forward(client_packet(vip.addr, vip.vip_id))
+        assert delivered.flow.dst_ip in {d.addr for d in vip.dips}
+        pins[vip.addr] = (vip.vip_id, delivered.flow.dst_ip)
+
+    # --- Midday: a switch dies; the backstop absorbs it. ---------------------
+    victim_vip = next(
+        v for v in population
+        if controller.vip_location(v.addr) is not None
+    )
+    dead_switch = controller.vip_location(victim_vip.addr)
+    controller.fail_switch(dead_switch)
+    delivered, mux = controller.forward(
+        client_packet(victim_vip.addr, victim_vip.vip_id)
+    )
+    assert mux.kind is MuxKind.SMUX
+    assert delivered.flow.dst_ip == pins[victim_vip.addr][1]  # same DIP
+
+    # --- Afternoon: epochs pass; sticky rebalance each one. ------------------
+    for epoch in epochs[1:]:
+        plan = controller.rebalance(list(epoch.demands))
+        assert plan.validate_two_phase()
+        # Never re-homed onto the dead switch.
+        for vip in population:
+            assert controller.vip_location(vip.addr) != dead_switch
+    # Every VIP still serves after the churn.
+    for vip in population:
+        delivered, _ = controller.forward(client_packet(vip.addr, 7_000))
+        assert delivered.flow.dst_ip in {
+            d.addr for d in controller.record(vip.addr).dips
+        }
+
+    # --- Evening: ops hygiene — metering and DIP health. ---------------------
+    totals = controller.collect_traffic_reports()
+    assert sum(totals.values()) > 0
+    reapable = next(
+        (v for v in population
+         if len(controller.record(v.addr).dips) >= 2), None,
+    )
+    assert reapable is not None
+    sick = controller.record(reapable.addr).dips[0]
+    controller.host_agents[sick.server_id].set_health(sick.addr, False)
+    assert sick.addr in controller.reap_failed_dips()

@@ -1,0 +1,121 @@
+"""Tests for repro.sim.packetsim and its agreement with the fluid model."""
+
+import pytest
+
+from repro.sim.packetsim import (
+    PacketLevelMux,
+    md1_mean_wait,
+    overload_drop_rate,
+)
+from repro.sim.queueing import LoadPhase, LognormalLatency, MuxStation
+
+
+class TestBasics:
+    def test_empty_run(self):
+        stats = PacketLevelMux(1000.0).run([])
+        assert stats.arrivals == 0
+        assert stats.drop_rate == 0.0
+
+    def test_single_packet_no_wait(self):
+        stats = PacketLevelMux(1000.0).run([0.5])
+        assert stats.served == 1
+        assert stats.mean_wait_s == 0.0
+
+    def test_back_to_back_packets_queue(self):
+        mux = PacketLevelMux(1000.0)  # 1 ms service
+        stats = mux.run([0.0, 0.0, 0.0])
+        # Waits: 0, 1 ms, 2 ms.
+        assert stats.mean_wait_s == pytest.approx(1e-3)
+
+    def test_buffer_drops(self):
+        mux = PacketLevelMux(1000.0, buffer_packets=2)
+        stats = mux.run([0.0] * 10)
+        assert stats.dropped == 8
+        assert stats.served == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PacketLevelMux(0.0)
+        with pytest.raises(ValueError):
+            PacketLevelMux(10.0, buffer_packets=-1)
+        with pytest.raises(ValueError):
+            PacketLevelMux(10.0).run_poisson(100.0, 0.0)
+
+
+class TestMd1Agreement:
+    """The DES converges to the analytic M/D/1 waiting time."""
+
+    @pytest.mark.parametrize("rho", [0.3, 0.6, 0.8])
+    def test_mean_wait_matches_analytic(self, rho):
+        capacity = 10_000.0
+        rate = rho * capacity
+        stats = PacketLevelMux(capacity).run_poisson(rate, 60.0, seed=4)
+        analytic = md1_mean_wait(rate, capacity)
+        assert stats.mean_wait_s == pytest.approx(analytic, rel=0.25)
+
+    def test_saturated_wait_infinite_analytically(self):
+        assert md1_mean_wait(11_000, 10_000) == float("inf")
+
+    def test_analytic_validation(self):
+        with pytest.raises(ValueError):
+            md1_mean_wait(1.0, 0.0)
+
+
+class TestOverloadAgreement:
+    def test_drop_rate_matches_formula(self):
+        capacity = 5_000.0
+        rate = 7_500.0
+        mux = PacketLevelMux(capacity, buffer_packets=200)
+        stats = mux.run_poisson(rate, 30.0, seed=2)
+        assert stats.drop_rate == pytest.approx(
+            overload_drop_rate(rate, capacity), abs=0.03
+        )
+
+    def test_no_drops_below_capacity(self):
+        assert overload_drop_rate(100.0, 1000.0) == 0.0
+        stats = PacketLevelMux(1000.0, buffer_packets=100).run_poisson(
+            300.0, 20.0, seed=1
+        )
+        assert stats.drop_rate < 0.001
+
+    def test_backlog_pins_at_buffer(self):
+        mux = PacketLevelMux(1_000.0, buffer_packets=50)
+        stats = mux.run_poisson(2_000.0, 10.0, seed=3)
+        assert stats.max_backlog >= 50
+
+
+class TestFluidAgreement:
+    """The fluid model of repro.sim.queueing matches the DES."""
+
+    def test_overload_backlog_growth(self):
+        capacity = 2_000.0
+        rate = 3_000.0
+        duration = 2.0
+        # Fluid prediction: (rate - capacity) * t, before the buffer cap.
+        station = MuxStation(
+            LognormalLatency(1e-9, 1e-9), capacity,
+            [LoadPhase(0.0, duration, rate)],
+            buffer_packets=1e9,
+        )
+        fluid = station.backlog_at(duration)
+        stats = PacketLevelMux(capacity, buffer_packets=10**9).run_poisson(
+            rate, duration, seed=5
+        )
+        assert stats.final_backlog == pytest.approx(fluid, rel=0.15)
+
+    def test_overload_wait_matches_fluid_backlog_wait(self):
+        capacity = 2_000.0
+        rate = 4_000.0
+        buffer_packets = 500
+        station = MuxStation(
+            LognormalLatency(1e-9, 1e-9), capacity,
+            [LoadPhase(0.0, 30.0, rate)],
+            buffer_packets=buffer_packets,
+        )
+        fluid_wait = station.backlog_at(29.0) / capacity
+        stats = PacketLevelMux(capacity, buffer_packets).run_poisson(
+            rate, 30.0, seed=6
+        )
+        # In deep overload the buffer is pinned full: served packets wait
+        # ~ buffer/mu in both models.
+        assert stats.p99_wait_s == pytest.approx(fluid_wait, rel=0.1)

@@ -1,0 +1,104 @@
+"""Regression tests pinning the paper-scale workload's *placeability*.
+
+Generating the S8.1 world is cheap (seconds); assigning it is not.
+These tests pin the structural properties that make the synthetic trace
+placeable the way a real production trace is — the constraints DESIGN.md
+S2 documents — without running the full assignment.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments.common import (
+    build_world,
+    medium_scale,
+    paper_scale_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def paper_world():
+    scale = paper_scale_experiment().with_traffic(10e12)
+    return build_world(scale)
+
+
+class TestPaperScaleWorkload:
+    def test_dimensions(self, paper_world):
+        topology, population = paper_world
+        assert topology.params.n_tors == 1600
+        assert len(population) == 30_000
+        assert population.total_traffic_bps == pytest.approx(10e12)
+
+    def test_no_vip_exceeds_vantage_capacity(self, paper_world):
+        """The physical head cap: ~100G max per VIP (a single switch
+        vantage point must be able to host it)."""
+        _, population = paper_world
+        top = max(v.traffic_bps for v in population)
+        assert top <= 100e9 * 1.001
+
+    def test_per_dip_load_bounded(self, paper_world):
+        """No server absorbs more than ~1G of one VIP."""
+        _, population = paper_world
+        for vip in population:
+            if vip.traffic_bps > 5e9:
+                assert vip.traffic_bps / vip.n_dips <= 1e9 * 1.001
+
+    def test_elephants_are_diffuse(self, paper_world):
+        """VIPs above the diffuse threshold have DC-wide ingress."""
+        _, population = paper_world
+        for vip in population:
+            if vip.traffic_bps >= 20e9:
+                assert vip.ingress_racks == ()
+                assert vip.demand().diffuse_intra_fraction == pytest.approx(0.7)
+
+    def test_mice_have_explicit_racks(self, paper_world):
+        _, population = paper_world
+        mice = [v for v in population if v.traffic_bps < 20e9]
+        assert mice
+        for vip in mice[:200]:
+            assert vip.ingress_racks
+            assert vip.demand().diffuse_intra_fraction == pytest.approx(
+                0.0, abs=1e-9
+            )
+
+    def test_explicit_rack_ingress_bounded(self, paper_world):
+        """Per-(VIP, rack) average ingress stays under the model cap so
+        client-rack uplinks cannot be wedged by a single VIP."""
+        _, population = paper_world
+        for vip in population:
+            if not vip.ingress_racks or vip.traffic_bps < 5e9:
+                continue
+            intra = vip.traffic_bps * 0.7
+            per_rack_mean = intra / len(vip.ingress_racks)
+            assert per_rack_mean <= 2.5e9 * 1.01
+
+    def test_dip_fanout_within_tunnel_table(self, paper_world):
+        """The 100G cap + 1G/DIP floor keeps elephants at <= ~100 DIPs
+        extra, comfortably within the 512-entry tunneling table, so the
+        head of the distribution is HMux-assignable."""
+        _, population = paper_world
+        capacity = paper_world[0].params.tables.dip_capacity
+        big = [v for v in population if v.traffic_bps >= 20e9]
+        assert big
+        for vip in big:
+            assert vip.n_dips <= capacity
+
+    def test_elephants_carry_most_traffic(self, paper_world):
+        """Figure 15's property at scale: a few hundred VIPs carry the
+        large majority of the bytes (that is why 16K host-table entries
+        cover ~95% of traffic in the paper)."""
+        _, population = paper_world
+        ordered = sorted(
+            (v.traffic_bps for v in population), reverse=True
+        )
+        top_500 = sum(ordered[:500])
+        assert top_500 / sum(ordered) > 0.85
+
+
+class TestMediumScale:
+    def test_dimensions(self):
+        scale = medium_scale()
+        topology, population = build_world(scale)
+        assert topology.params.n_containers == 10
+        assert len(population) == scale.n_vips

@@ -1,0 +1,86 @@
+"""Tests for repro.sim.pingmesh: probe series metrics."""
+
+import pytest
+
+from repro.sim.pingmesh import PingSeries, ProbeResult
+
+
+def series_from(spec):
+    """spec: list of (time, latency_or_None, via)."""
+    series = PingSeries(vip=1, label="test")
+    for time_s, latency, via in spec:
+        series.add(ProbeResult(time_s, latency, via))
+    return series
+
+
+class TestAvailability:
+    def test_all_answered(self):
+        s = series_from([(i * 0.003, 1e-4, "hmux") for i in range(10)])
+        assert s.availability() == 1.0
+        assert s.drop_windows() == []
+        assert s.outage_s() == 0.0
+
+    def test_empty_series_available(self):
+        assert PingSeries(1, "x").availability() == 1.0
+
+    def test_partial_drops(self):
+        s = series_from([
+            (0.000, 1e-4, "hmux"),
+            (0.003, None, "hmux"),
+            (0.006, None, "hmux"),
+            (0.009, 1e-4, "smux"),
+        ])
+        assert s.availability() == pytest.approx(0.5)
+        assert s.drop_windows() == [(0.003, 0.006)]
+        assert s.outage_s() == pytest.approx(0.006)
+
+    def test_trailing_drop_window(self):
+        s = series_from([(0.0, 1e-4, "hmux"), (0.003, None, "hmux")])
+        assert s.drop_windows() == [(0.003, 0.003)]
+        assert s.outage_s() == 0.0  # never recovered; no recovery point
+
+    def test_multiple_windows(self):
+        s = series_from([
+            (0.0, 1e-4, "h"), (0.003, None, "h"), (0.006, 1e-4, "h"),
+            (0.009, None, "h"), (0.012, None, "h"), (0.015, 1e-4, "h"),
+        ])
+        assert len(s.drop_windows()) == 2
+
+
+class TestLatencyMetrics:
+    def test_median(self):
+        s = series_from([(i * 0.003, (i + 1) * 1e-4, "h") for i in range(5)])
+        assert s.median_latency_s() == pytest.approx(3e-4)
+
+    def test_percentile(self):
+        s = series_from([(i * 0.003, (i + 1) * 1e-4, "h") for i in range(100)])
+        assert s.percentile_latency_s(90) == pytest.approx(90.1e-4, rel=0.02)
+
+    def test_no_latencies_raises(self):
+        s = series_from([(0.0, None, "h")])
+        with pytest.raises(ValueError):
+            s.median_latency_s()
+
+    def test_drops_excluded_from_latencies(self):
+        s = series_from([(0.0, 1e-4, "h"), (0.003, None, "h")])
+        assert len(s.latencies_s()) == 1
+
+
+class TestNavigation:
+    def test_serving_mux_at(self):
+        s = series_from([
+            (0.0, 1e-4, "hmux"), (0.1, 1e-4, "smux"),
+        ])
+        assert s.serving_mux_at(0.05) == "hmux"
+        assert s.serving_mux_at(0.5) == "smux"
+
+    def test_serving_mux_before_first_raises(self):
+        s = series_from([(1.0, 1e-4, "hmux")])
+        with pytest.raises(ValueError):
+            s.serving_mux_at(0.5)
+
+    def test_window(self):
+        s = series_from([(i * 1.0, 1e-4, "h") for i in range(10)])
+        w = s.window(2.0, 5.0)
+        assert len(w) == 3
+        assert w.results[0].time_s == 2.0

@@ -1,0 +1,159 @@
+"""Tests for repro.sim.queueing: latency laws and the fluid queue."""
+
+import random
+
+import pytest
+
+from repro.sim.queueing import (
+    HMUX_BASE_LATENCY,
+    LoadPhase,
+    LognormalLatency,
+    MuxStation,
+    SMUX_BASE_LATENCY,
+    hmux_station,
+    smux_cpu_utilization,
+    smux_station,
+)
+
+
+class TestLognormalLatency:
+    def test_quantiles_match_anchors(self):
+        law = LognormalLatency(196e-6, 1e-3)
+        assert law.quantile(0.5) == pytest.approx(196e-6)
+        assert law.quantile(0.9) == pytest.approx(1e-3)
+
+    def test_samples_positive(self):
+        law = LognormalLatency(1e-4, 5e-4)
+        rng = random.Random(0)
+        assert all(law.sample(rng) > 0 for _ in range(100))
+
+    def test_sample_median(self):
+        law = LognormalLatency(200e-6, 800e-6)
+        rng = random.Random(1)
+        samples = sorted(law.sample(rng) for _ in range(4001))
+        assert samples[2000] == pytest.approx(200e-6, rel=0.15)
+
+    def test_degenerate_constant(self):
+        law = LognormalLatency(1e-4, 1e-4)
+        assert law.sample(random.Random(0)) == 1e-4
+        assert law.quantile(0.99) == 1e-4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LognormalLatency(0.0, 1.0)
+        with pytest.raises(ValueError):
+            LognormalLatency(2.0, 1.0)
+        with pytest.raises(ValueError):
+            LognormalLatency(1.0, 2.0).quantile(0.0)
+
+    def test_paper_anchors(self):
+        assert SMUX_BASE_LATENCY.median_s == pytest.approx(196e-6)
+        assert SMUX_BASE_LATENCY.p90_s == pytest.approx(1e-3)
+        assert HMUX_BASE_LATENCY.median_s < 10e-6  # "microsecond latency"
+
+
+class TestFluidBacklog:
+    def make(self, phases, capacity=1000.0, buffer_packets=500.0):
+        return MuxStation(
+            LognormalLatency(1e-6, 1e-6), capacity, phases,
+            buffer_packets=buffer_packets,
+        )
+
+    def test_no_backlog_below_capacity(self):
+        station = self.make([LoadPhase(0, 10, 500.0)])
+        assert station.backlog_at(5.0) == 0.0
+
+    def test_backlog_grows_linearly_when_overloaded(self):
+        station = self.make([LoadPhase(0, 10, 1200.0)])
+        assert station.backlog_at(1.0) == pytest.approx(200.0)
+        assert station.backlog_at(2.0) == pytest.approx(400.0)
+
+    def test_backlog_capped_at_buffer(self):
+        station = self.make([LoadPhase(0, 100, 2000.0)])
+        assert station.backlog_at(50.0) == 500.0
+
+    def test_backlog_drains_after_load(self):
+        station = self.make([LoadPhase(0, 1, 1400.0)])
+        assert station.backlog_at(1.0) == pytest.approx(400.0)
+        # After the phase ends the queue drains at full rate.
+        assert station.backlog_at(1.2) == pytest.approx(200.0)
+        assert station.backlog_at(2.0) == 0.0
+
+    def test_backlog_carries_across_phases(self):
+        station = self.make([
+            LoadPhase(0, 1, 1400.0),
+            LoadPhase(1, 2, 900.0),
+        ])
+        # 400 packets at t=1, draining at net 100/s during phase 2.
+        assert station.backlog_at(1.5) == pytest.approx(350.0)
+
+    def test_idle_gap_drains(self):
+        station = self.make([
+            LoadPhase(0, 1, 1400.0),
+            LoadPhase(2, 3, 900.0),
+        ])
+        assert station.backlog_at(2.0) == 0.0
+
+    def test_dropping_detection(self):
+        station = self.make([LoadPhase(0, 100, 2000.0)])
+        assert not station.is_dropping_at(0.1)
+        assert station.is_dropping_at(50.0)
+        assert station.drop_probability_at(50.0) == pytest.approx(0.5)
+        assert station.drop_probability_at(0.1) == 0.0
+
+    def test_overlapping_phases_rejected(self):
+        with pytest.raises(ValueError):
+            self.make([LoadPhase(0, 2, 1.0), LoadPhase(1, 3, 1.0)])
+
+    def test_phase_validation(self):
+        with pytest.raises(ValueError):
+            LoadPhase(1, 1, 5.0)
+        with pytest.raises(ValueError):
+            LoadPhase(0, 1, -5.0)
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            self.make([], capacity=0.0)
+
+
+class TestLatencySamples:
+    def test_unloaded_latency_near_base(self):
+        station = smux_station([])
+        rng = random.Random(2)
+        samples = sorted(station.latency_sample(0.0, rng) for _ in range(2001))
+        assert samples[1000] == pytest.approx(196e-6, rel=0.25)
+
+    def test_overload_adds_backlog_wait(self):
+        station = smux_station([LoadPhase(0, 100, 600_000.0)])
+        rng = random.Random(3)
+        late = station.latency_sample(90.0, rng)
+        assert late > 8192 / 300_000 * 0.9  # ~full buffer of wait
+
+    def test_contention_multiplier_grows(self):
+        station = smux_station([LoadPhase(0, 10, 290_000.0)])
+        assert station.contention_multiplier(5.0) > station.contention_multiplier(20.0)
+
+    def test_hmux_station_fast_even_at_high_pps(self):
+        station = hmux_station(
+            [LoadPhase(0, 10, 1_200_000.0)], link_gbps=10.0, packet_bytes=512,
+        )
+        rng = random.Random(4)
+        samples = [station.latency_sample(5.0, rng) for _ in range(200)]
+        assert max(samples) < 1e-3  # "microsecond latency"
+
+    def test_utilization_at(self):
+        station = smux_station([LoadPhase(0, 10, 150_000.0)])
+        assert station.utilization_at(5.0) == pytest.approx(0.5)
+        assert station.utilization_at(50.0) == 0.0
+
+
+class TestCpuUtilization:
+    def test_linear_then_saturated(self):
+        # Figure 1b: 100% CPU at 300K pps.
+        assert smux_cpu_utilization(150_000) == pytest.approx(50.0)
+        assert smux_cpu_utilization(300_000) == 100.0
+        assert smux_cpu_utilization(450_000) == 100.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            smux_cpu_utilization(-1.0)

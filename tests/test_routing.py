@@ -1,0 +1,202 @@
+"""Tests for repro.net.routing: ECMP path fractions and link loads."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.net.routing import (
+    EcmpRouter,
+    LinkLoadAccumulator,
+    UNREACHABLE,
+    UnreachableError,
+)
+from repro.net.topology import FatTreeParams, SwitchKind, Topology
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return Topology(FatTreeParams(
+        n_containers=3, tors_per_container=3,
+        aggs_per_container=2, n_cores=4,
+    ))
+
+
+@pytest.fixture(scope="module")
+def router(topo):
+    return EcmpRouter(topo)
+
+
+def outflow(topo, fractions, node):
+    return sum(
+        f for link, f in fractions.items() if topo.links[link].src == node
+    )
+
+
+def inflow(topo, fractions, node):
+    return sum(
+        f for link, f in fractions.items() if topo.links[link].dst == node
+    )
+
+
+class TestDistances:
+    def test_distance_to_self(self, router, topo):
+        dist = router.distances_to(0)
+        assert dist[0] == 0
+
+    def test_same_container_tor_distance(self, router, topo):
+        tors = topo.tors(0)
+        assert router.hop_distance(tors[0], tors[1]) == 2  # via an agg
+
+    def test_cross_container_tor_distance(self, router, topo):
+        a = topo.tors(0)[0]
+        b = topo.tors(1)[0]
+        assert router.hop_distance(a, b) == 4  # tor-agg-core-agg-tor
+
+    def test_tor_to_core_distance(self, router, topo):
+        assert router.hop_distance(topo.tors(0)[0], topo.cores()[0]) == 2
+
+    def test_reachability(self, router, topo):
+        assert router.is_reachable(0, topo.n_switches - 1)
+
+    def test_failed_destination_unreachable(self, topo):
+        r = EcmpRouter(topo, failed_switches=[0])
+        assert not r.is_reachable(1, 0)
+        assert not r.is_reachable(0, 1)
+        with pytest.raises(UnreachableError):
+            r.hop_distance(1, 0)
+
+
+class TestPathFractions:
+    def test_self_path_empty(self, router):
+        assert router.path_fractions(3, 3) == {}
+
+    def test_conservation_at_source(self, router, topo):
+        src, dst = topo.tors(0)[0], topo.tors(2)[1]
+        fractions = router.path_fractions(src, dst)
+        assert outflow(topo, fractions, src) == pytest.approx(1.0)
+
+    def test_conservation_at_destination(self, router, topo):
+        src, dst = topo.tors(0)[0], topo.tors(2)[1]
+        fractions = router.path_fractions(src, dst)
+        assert inflow(topo, fractions, dst) == pytest.approx(1.0)
+
+    def test_conservation_at_transit(self, router, topo):
+        src, dst = topo.tors(0)[0], topo.tors(2)[1]
+        fractions = router.path_fractions(src, dst)
+        transit = set()
+        for link, _ in fractions.items():
+            transit.add(topo.links[link].src)
+            transit.add(topo.links[link].dst)
+        transit -= {src, dst}
+        for node in transit:
+            assert inflow(topo, fractions, node) == pytest.approx(
+                outflow(topo, fractions, node)
+            )
+
+    def test_equal_split_across_aggs(self, router, topo):
+        src, dst = topo.tors(0)[0], topo.tors(0)[1]
+        fractions = router.path_fractions(src, dst)
+        # Two aggs, each carrying half up and half down.
+        assert len(fractions) == 4
+        assert all(f == pytest.approx(0.5) for f in fractions.values())
+
+    def test_only_shortest_path_links(self, router, topo):
+        # Same-container traffic never touches cores.
+        src, dst = topo.tors(0)[0], topo.tors(0)[2]
+        fractions = router.path_fractions(src, dst)
+        cores = set(topo.cores())
+        for link in fractions:
+            assert topo.links[link].src not in cores
+            assert topo.links[link].dst not in cores
+
+    def test_fractions_positive(self, router, topo):
+        fractions = router.path_fractions(topo.tors(0)[0], topo.cores()[1])
+        assert all(f > 0 for f in fractions.values())
+
+    def test_unreachable_raises(self, topo):
+        # Kill both aggs of container 0: its ToRs are isolated.
+        r = EcmpRouter(topo, failed_switches=topo.aggs(0))
+        with pytest.raises(UnreachableError):
+            r.path_fractions(topo.tors(0)[0], topo.tors(1)[0])
+
+    def test_failed_link_shifts_traffic(self, topo):
+        src, dst = topo.tors(0)[0], topo.tors(0)[1]
+        agg0 = topo.aggs(0)[0]
+        dead = topo.link_between(src, agg0).index
+        r = EcmpRouter(topo, failed_links=[dead])
+        fractions = r.path_fractions(src, dst)
+        # All traffic now goes through the other agg.
+        assert outflow(topo, fractions, src) == pytest.approx(1.0)
+        assert dead not in fractions
+
+    def test_vector_matches_dict(self, router, topo):
+        src, dst = topo.tors(0)[0], topo.tors(1)[0]
+        vec = router.path_fraction_vector(src, dst)
+        fractions = router.path_fractions(src, dst)
+        assert vec.sum() == pytest.approx(sum(fractions.values()))
+        for link, f in fractions.items():
+            assert vec[link] == pytest.approx(f)
+
+    def test_caching_returns_same_object(self, router, topo):
+        a = router.path_fractions(0, 5)
+        b = router.path_fractions(0, 5)
+        assert a is b
+
+
+class TestNextHopsAndSampling:
+    def test_next_hops_toward_dst(self, router, topo):
+        src, dst = topo.tors(0)[0], topo.tors(1)[0]
+        hops = router.ecmp_next_hops(src, dst)
+        assert set(hops) == set(topo.aggs(0))
+
+    def test_next_hops_at_destination_empty(self, router):
+        assert router.ecmp_next_hops(4, 4) == []
+
+    def test_sample_path_valid(self, router, topo):
+        src, dst = topo.tors(0)[0], topo.tors(2)[2]
+        for flow_hash in range(20):
+            path = router.sample_path(src, dst, flow_hash)
+            assert path[0] == src
+            assert path[-1] == dst
+            assert len(path) == router.hop_distance(src, dst) + 1
+            for a, b in zip(path, path[1:]):
+                assert b in topo.neighbors(a)
+
+    def test_sample_path_spreads_over_hashes(self, router, topo):
+        src, dst = topo.tors(0)[0], topo.tors(2)[2]
+        paths = {tuple(router.sample_path(src, dst, h)) for h in range(64)}
+        assert len(paths) > 1  # ECMP actually uses multiple paths
+
+
+class TestLinkLoadAccumulator:
+    def test_single_flow_load(self, router, topo):
+        acc = LinkLoadAccumulator(router)
+        acc.add_flow(topo.tors(0)[0], topo.tors(0)[1], 4e9)
+        # 4 Gbps split over 2 aggs: 2 Gbps per link on 10G links.
+        util = acc.utilization()
+        nonzero = util[util > 0]
+        assert nonzero.max() == pytest.approx(0.2)
+
+    def test_total_load_conserved(self, router, topo):
+        acc = LinkLoadAccumulator(router)
+        acc.add_flow(topo.tors(0)[0], topo.tors(1)[0], 1e9)
+        hops = router.hop_distance(topo.tors(0)[0], topo.tors(1)[0])
+        # Each unit of traffic appears on exactly `hops` links' worth.
+        assert acc.load.sum() == pytest.approx(1e9 * hops)
+
+    def test_add_flows_batch(self, router, topo):
+        acc = LinkLoadAccumulator(router)
+        acc.add_flows([
+            (topo.tors(0)[0], topo.tors(1)[0], 1e9),
+            (topo.tors(1)[0], topo.tors(0)[0], 1e9),
+        ])
+        assert acc.max_utilization() > 0
+
+    def test_negative_volume_rejected(self, router):
+        acc = LinkLoadAccumulator(router)
+        with pytest.raises(ValueError):
+            acc.add_flow(0, 1, -1.0)
+
+    def test_zero_on_idle(self, router):
+        assert LinkLoadAccumulator(router).max_utilization() == 0.0

@@ -1,0 +1,210 @@
+"""Tests for repro.dataplane.tables: the three switch tables + ACL."""
+
+import pytest
+
+from repro.dataplane.tables import (
+    AclRule,
+    AclTable,
+    EcmpTable,
+    HostForwardingTable,
+    TableEntryError,
+    TableFullError,
+    TunnelingTable,
+)
+
+
+class TestTunnelingTable:
+    def test_allocate_block_contiguous(self):
+        table = TunnelingTable(16)
+        base = table.allocate_block([100, 101, 102])
+        assert [table.get(base + i) for i in range(3)] == [100, 101, 102]
+
+    def test_blocks_do_not_overlap(self):
+        table = TunnelingTable(16)
+        a = table.allocate_block([1] * 4)
+        b = table.allocate_block([2] * 4)
+        assert set(range(a, a + 4)).isdisjoint(range(b, b + 4))
+
+    def test_capacity_enforced(self):
+        table = TunnelingTable(4)
+        table.allocate_block([1] * 4)
+        with pytest.raises(TableFullError):
+            table.allocate_block([2])
+
+    def test_fragmentation_no_gap(self):
+        table = TunnelingTable(8)
+        a = table.allocate_block([1] * 3)
+        b = table.allocate_block([2] * 3)
+        table.free_block(a, 3)
+        # 5 free entries but max contiguous gap is 3 + 2.
+        with pytest.raises(TableFullError):
+            table.allocate_block([3] * 4)
+
+    def test_free_then_reuse(self):
+        table = TunnelingTable(4)
+        base = table.allocate_block([1, 2, 3, 4])
+        table.free_block(base, 4)
+        assert table.allocate_block([9] * 4) == base
+
+    def test_free_unallocated_raises(self):
+        with pytest.raises(TableEntryError):
+            TunnelingTable(4).free_block(0, 1)
+
+    def test_get_unallocated_raises(self):
+        with pytest.raises(TableEntryError):
+            TunnelingTable(4).get(0)
+
+    def test_set_rewrites_in_place(self):
+        table = TunnelingTable(4)
+        base = table.allocate_block([1])
+        table.set(base, 99)
+        assert table.get(base) == 99
+
+    def test_set_unallocated_raises(self):
+        with pytest.raises(TableEntryError):
+            TunnelingTable(4).set(0, 9)
+
+    def test_empty_block_rejected(self):
+        with pytest.raises(TableEntryError):
+            TunnelingTable(4).allocate_block([])
+
+    def test_free_entries_accounting(self):
+        table = TunnelingTable(10)
+        table.allocate_block([1] * 3)
+        assert table.free_entries == 7
+        assert len(table) == 3
+
+    def test_paper_default_512(self):
+        assert TunnelingTable().capacity == 512
+
+
+class TestEcmpTable:
+    def test_group_consumes_entries(self):
+        table = EcmpTable(100)
+        table.create_group(tunnel_base=0, size=10)
+        assert table.used_entries == 10
+        assert table.free_entries == 90
+
+    def test_capacity_enforced(self):
+        table = EcmpTable(8)
+        table.create_group(0, 8)
+        with pytest.raises(TableFullError):
+            table.create_group(8, 1)
+
+    def test_destroy_releases(self):
+        table = EcmpTable(8)
+        group = table.create_group(0, 8)
+        table.destroy_group(group.group_id)
+        assert table.free_entries == 8
+
+    def test_destroy_unknown(self):
+        with pytest.raises(TableEntryError):
+            EcmpTable(8).destroy_group(0)
+
+    def test_group_ids_unique(self):
+        table = EcmpTable(100)
+        a = table.create_group(0, 1)
+        b = table.create_group(1, 1)
+        assert a.group_id != b.group_id
+
+    def test_group_tunnel_index(self):
+        table = EcmpTable(16)
+        group = table.create_group(tunnel_base=4, size=3)
+        assert group.tunnel_index(0) == 4
+        assert group.tunnel_index(2) == 6
+        with pytest.raises(TableEntryError):
+            group.tunnel_index(3)
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(TableEntryError):
+            EcmpTable(8).create_group(0, 0)
+
+    def test_paper_default_4k(self):
+        assert EcmpTable().capacity == 4096
+
+
+class TestHostForwardingTable:
+    def test_install_and_lookup(self):
+        table = HostForwardingTable(16)
+        table.install(0x0A000001, 7)
+        assert table.lookup(0x0A000001) == 7
+        assert table.lookup(0x0A000002) is None
+
+    def test_duplicate_rejected(self):
+        table = HostForwardingTable(16)
+        table.install(1, 0)
+        with pytest.raises(TableEntryError):
+            table.install(1, 1)
+
+    def test_capacity_enforced(self):
+        table = HostForwardingTable(2)
+        table.install(1, 0)
+        table.install(2, 0)
+        with pytest.raises(TableFullError):
+            table.install(3, 0)
+
+    def test_reserved_reduces_free(self):
+        table = HostForwardingTable(10, reserved=8)
+        assert table.free_entries == 2
+        table.install(1, 0)
+        table.install(2, 0)
+        with pytest.raises(TableFullError):
+            table.install(3, 0)
+
+    def test_reserved_validation(self):
+        with pytest.raises(ValueError):
+            HostForwardingTable(4, reserved=5)
+
+    def test_remove_returns_group(self):
+        table = HostForwardingTable(4)
+        table.install(1, 42)
+        assert table.remove(1) == 42
+        assert table.lookup(1) is None
+
+    def test_remove_missing(self):
+        with pytest.raises(TableEntryError):
+            HostForwardingTable(4).remove(1)
+
+    def test_routes_sorted(self):
+        table = HostForwardingTable(8)
+        table.install(5, 0)
+        table.install(3, 1)
+        assert [r[0] for r in table.routes()] == [3, 5]
+
+    def test_paper_default_16k(self):
+        assert HostForwardingTable().capacity == 16 * 1024
+
+
+class TestAclTable:
+    def test_install_and_lookup(self):
+        table = AclTable(4)
+        table.install(AclRule(1, 80, 9))
+        rule = table.lookup(1, 80)
+        assert rule is not None and rule.group_id == 9
+        assert table.lookup(1, 21) is None
+
+    def test_duplicate_rejected(self):
+        table = AclTable(4)
+        table.install(AclRule(1, 80, 0))
+        with pytest.raises(TableEntryError):
+            table.install(AclRule(1, 80, 1))
+
+    def test_same_vip_different_ports_ok(self):
+        table = AclTable(4)
+        table.install(AclRule(1, 80, 0))
+        table.install(AclRule(1, 21, 1))
+        assert len(table) == 2
+
+    def test_capacity(self):
+        table = AclTable(1)
+        table.install(AclRule(1, 80, 0))
+        with pytest.raises(TableFullError):
+            table.install(AclRule(2, 80, 0))
+
+    def test_remove(self):
+        table = AclTable(4)
+        table.install(AclRule(1, 80, 5))
+        removed = table.remove(1, 80)
+        assert removed.group_id == 5
+        with pytest.raises(TableEntryError):
+            table.remove(1, 80)
