@@ -1,0 +1,47 @@
+"""Chaos engine: randomized fault injection over a live controller.
+
+The paper's availability story (S5.1, Figures 12/19) is that the SMux
+backstop keeps every VIP reachable through arbitrary HMux/switch/DIP
+failures and migrations.  This package turns that claim into a checked
+property: a seeded generator drives a live
+:class:`~repro.core.controller.DuetController` through randomized event
+sequences (switch fail/recover, SMux fail/add, DIP flaps, link cuts, VIP
+and DIP churn, rebalance epochs, SNAT enablement) and asserts a battery
+of invariants after every step.  Violations come with a reproduction
+artifact: the config seed plus the exact event prefix, replayable with
+:func:`replay_artifact` or ``python -m repro chaos --replay``.
+"""
+
+from repro.chaos.engine import (
+    ChaosArtifact,
+    ChaosConfig,
+    ChaosEngine,
+    ChaosReport,
+    StepTrace,
+    apply_event,
+    build_controller,
+    replay_artifact,
+)
+from repro.chaos.events import ChaosEvent, EventGenerator, EventKind
+from repro.chaos.invariants import (
+    FlowAffinityTracker,
+    InvariantChecker,
+    Violation,
+)
+
+__all__ = [
+    "ChaosArtifact",
+    "ChaosConfig",
+    "ChaosEngine",
+    "ChaosEvent",
+    "ChaosReport",
+    "EventGenerator",
+    "EventKind",
+    "FlowAffinityTracker",
+    "InvariantChecker",
+    "StepTrace",
+    "Violation",
+    "apply_event",
+    "build_controller",
+    "replay_artifact",
+]

@@ -1,0 +1,334 @@
+"""Chaos runner: seeded soak loop with per-step invariant checks.
+
+The engine builds a live :class:`~repro.core.controller.DuetController`
+from a :class:`ChaosConfig`, drives it with events from the seeded
+:class:`~repro.chaos.events.EventGenerator`, and runs the full
+:class:`~repro.chaos.invariants.InvariantChecker` battery plus the
+stateful :class:`~repro.chaos.invariants.FlowAffinityTracker` after
+every event.  On a violation it emits a :class:`ChaosArtifact` — the
+config plus the exact event prefix — which :func:`replay_artifact` (or
+``python -m repro chaos --replay``) turns back into the same violation,
+because events carry fully-specified parameters and every random choice
+(generation, fault injection, population synthesis) is seeded.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.assignment import AssignmentConfig
+from repro.core.controller import DuetController
+from repro.net.failures import (
+    FaultModel,
+    ScriptedFaultModel,
+    TransientFaultModel,
+)
+from repro.net.topology import FatTreeParams, Topology
+from repro.workload.distributions import DipCountModel
+from repro.workload.vips import Dip, generate_population
+
+from repro.chaos.events import (
+    ChaosEvent,
+    EventGenerator,
+    EventKind,
+    build_vip_from_params,
+)
+from repro.chaos.invariants import (
+    FlowAffinityTracker,
+    InvariantChecker,
+    Violation,
+)
+
+
+@dataclass
+class ChaosConfig:
+    """Everything needed to rebuild a chaos run bit-for-bit."""
+
+    seed: int = 0
+    n_events: int = 500
+    # Deployment shape (defaults mirror the test-suite tiny FatTree).
+    n_vips: int = 24
+    n_smuxes: int = 3
+    n_containers: int = 2
+    tors_per_container: int = 3
+    aggs_per_container: int = 2
+    n_cores: int = 2
+    servers_per_tor: int = 8
+    total_traffic_bps: float = 10e9
+    # Transient-fault model for switch programming (0.0 = no faults).
+    fail_prob: float = 0.0
+    fault_max_consecutive: int = 2
+    # Scripted faults: these switches reject every programming op.
+    broken_switches: Tuple[int, ...] = ()
+    # Engine behaviour.
+    stop_on_violation: bool = True
+    sabotage_step: Optional[int] = None
+    flows_per_vip: int = 2
+
+    def to_dict(self) -> Dict[str, Any]:
+        data = asdict(self)
+        data["broken_switches"] = list(self.broken_switches)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ChaosConfig":
+        kwargs = dict(data)
+        kwargs["broken_switches"] = tuple(kwargs.get("broken_switches", ()))
+        return cls(**kwargs)
+
+
+def _make_fault_model(config: ChaosConfig) -> Optional[FaultModel]:
+    if config.broken_switches:
+        return ScriptedFaultModel(config.broken_switches)
+    if config.fail_prob > 0:
+        return TransientFaultModel(
+            seed=config.seed,
+            fail_prob=config.fail_prob,
+            max_consecutive=config.fault_max_consecutive,
+        )
+    return None
+
+
+def build_controller(config: ChaosConfig) -> DuetController:
+    """Deterministically build the deployment under test."""
+    topology = Topology(FatTreeParams(
+        n_containers=config.n_containers,
+        tors_per_container=config.tors_per_container,
+        aggs_per_container=config.aggs_per_container,
+        n_cores=config.n_cores,
+        servers_per_tor=config.servers_per_tor,
+    ))
+    population = generate_population(
+        topology,
+        n_vips=config.n_vips,
+        total_traffic_bps=config.total_traffic_bps,
+        dip_model=DipCountModel(median_large=6.0, max_dips=12),
+        seed=config.seed,
+    )
+    controller = DuetController(
+        topology,
+        population,
+        n_smuxes=config.n_smuxes,
+        config=AssignmentConfig(),
+        hash_seed=config.seed,
+        fault_model=_make_fault_model(config),
+    )
+    controller.run_initial_assignment()
+    return controller
+
+
+def apply_event(controller: DuetController, event: ChaosEvent) -> None:
+    """Apply one fully-specified event to the live controller."""
+    kind, params = event.kind, event.params
+    if kind is EventKind.FAIL_SWITCH:
+        controller.fail_switch(params["switch"])
+    elif kind is EventKind.RECOVER_SWITCH:
+        controller.recover_switch(params["switch"])
+    elif kind is EventKind.FAIL_SMUX:
+        controller.fail_smux(params["smux"])
+    elif kind is EventKind.ADD_SMUX:
+        controller.add_smux()
+    elif kind is EventKind.DIP_DOWN:
+        controller.host_agents[params["server"]].set_health(
+            params["dip"], False
+        )
+    elif kind is EventKind.DIP_UP:
+        controller.host_agents[params["server"]].set_health(
+            params["dip"], True
+        )
+    elif kind is EventKind.REAP_DIPS:
+        controller.reap_failed_dips()
+    elif kind is EventKind.CUT_LINK:
+        controller.cut_link(params["link"])
+    elif kind is EventKind.RESTORE_LINK:
+        controller.restore_link(params["link"])
+    elif kind is EventKind.ADD_VIP:
+        controller.add_vip(build_vip_from_params(controller, params))
+    elif kind is EventKind.REMOVE_VIP:
+        controller.remove_vip(params["vip"])
+    elif kind is EventKind.ADD_DIP:
+        controller.add_dip(params["vip"], Dip(
+            addr=params["dip"],
+            server_id=params["server"],
+            tor=controller.topology.server_tor(params["server"]),
+        ))
+    elif kind is EventKind.REMOVE_DIP:
+        controller.remove_dip(params["vip"], params["dip"])
+    elif kind is EventKind.REBALANCE:
+        controller.rebalance()
+    elif kind is EventKind.ENABLE_SNAT:
+        controller.enable_snat(params["vip"])
+    elif kind is EventKind.SABOTAGE:
+        # Deliberate corruption, bypassing the controller: announce the
+        # VIP's /32 from a switch that never programmed it.
+        from repro.net.addressing import Prefix
+        from repro.net.bgp import MuxRef
+
+        controller.route_table.announce(
+            Prefix.host(params["vip"]), MuxRef.hmux(params["switch"])
+        )
+    else:  # pragma: no cover
+        raise ValueError(f"unhandled event kind {kind}")
+
+
+@dataclass
+class StepTrace:
+    """One engine step: the event plus what the checkers said."""
+
+    step: int
+    event: ChaosEvent
+    violations: List[Violation] = field(default_factory=list)
+
+
+@dataclass
+class ChaosArtifact:
+    """Reproduction recipe for a violation: config + event prefix.
+
+    ``events`` is every event applied up to and including the violating
+    step, fully specified, so :func:`replay_artifact` reproduces the
+    exact controller state without re-running generation.
+    """
+
+    config: Dict[str, Any]
+    events: List[Dict[str, Any]]
+    violation_step: int
+    violations: List[str]
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "config": self.config,
+            "events": self.events,
+            "violation_step": self.violation_step,
+            "violations": self.violations,
+        }, indent=2)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+
+    @classmethod
+    def load(cls, path: str) -> "ChaosArtifact":
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        return cls(
+            config=data["config"],
+            events=data["events"],
+            violation_step=data["violation_step"],
+            violations=list(data["violations"]),
+        )
+
+
+@dataclass
+class ChaosReport:
+    """Outcome of a chaos run."""
+
+    config: ChaosConfig
+    steps_run: int
+    event_counts: Dict[str, int]
+    violations: List[Violation]
+    first_violation_step: Optional[int]
+    artifact: Optional[ChaosArtifact]
+    traces: List[StepTrace]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+class ChaosEngine:
+    """Drive a live controller through seeded chaos with per-step checks."""
+
+    def __init__(
+        self,
+        config: ChaosConfig,
+        *,
+        events: Optional[Sequence[ChaosEvent]] = None,
+    ) -> None:
+        """With ``events`` the engine replays that exact sequence instead
+        of generating (the artifact path); checks still run per step."""
+        self.config = config
+        self.controller = build_controller(config)
+        self._scripted = list(events) if events is not None else None
+        # Generator seed is derived from (not equal to) the config seed
+        # so event sampling and population synthesis draw independent
+        # streams.
+        self.generator = EventGenerator(
+            self.controller, seed=config.seed ^ 0x5EED
+        )
+        self.checker = InvariantChecker(self.controller)
+        self.tracker = FlowAffinityTracker(
+            self.controller,
+            seed=config.seed,
+            flows_per_vip=config.flows_per_vip,
+        )
+
+    def _next_event(self, step: int) -> Optional[ChaosEvent]:
+        if self._scripted is not None:
+            if step >= len(self._scripted):
+                return None
+            return self._scripted[step]
+        if step >= self.config.n_events:
+            return None
+        if self.config.sabotage_step == step:
+            return self.generator.sabotage_event()
+        return self.generator.next_event()
+
+    def run(self) -> ChaosReport:
+        self.tracker.prime()
+        traces: List[StepTrace] = []
+        applied: List[ChaosEvent] = []
+        all_violations: List[Violation] = []
+        event_counts: Dict[str, int] = {}
+        first_violation_step: Optional[int] = None
+        artifact: Optional[ChaosArtifact] = None
+        step = 0
+        while True:
+            event = self._next_event(step)
+            if event is None:
+                break
+            apply_event(self.controller, event)
+            applied.append(event)
+            event_counts[event.kind.value] = (
+                event_counts.get(event.kind.value, 0) + 1
+            )
+            self.tracker.note(event)
+            violations = self.checker.check() + self.tracker.check()
+            traces.append(StepTrace(step, event, violations))
+            if violations:
+                all_violations.extend(violations)
+                if first_violation_step is None:
+                    first_violation_step = step
+                    artifact = ChaosArtifact(
+                        config=self.config.to_dict(),
+                        events=[e.to_dict() for e in applied],
+                        violation_step=step,
+                        violations=[str(v) for v in violations],
+                    )
+                if self.config.stop_on_violation:
+                    break
+            step += 1
+        return ChaosReport(
+            config=self.config,
+            steps_run=len(applied),
+            event_counts=event_counts,
+            violations=all_violations,
+            first_violation_step=first_violation_step,
+            artifact=artifact,
+            traces=traces,
+        )
+
+
+def replay_artifact(
+    artifact: Union[ChaosArtifact, str],
+) -> ChaosReport:
+    """Rebuild the deployment from an artifact and re-apply its event
+    prefix, checking invariants after every step.  A faithful artifact
+    reproduces its violation at the recorded step."""
+    if isinstance(artifact, str):
+        artifact = ChaosArtifact.load(artifact)
+    config = ChaosConfig.from_dict(artifact.config)
+    events = [ChaosEvent.from_dict(e) for e in artifact.events]
+    engine = ChaosEngine(config, events=events)
+    return engine.run()

@@ -1,0 +1,359 @@
+"""Chaos event model and the seeded feasible-event generator.
+
+Events are *fully specified* at generation time (every address, switch
+index and link index is in the params), so applying a recorded event
+list is deterministic — that is what makes the seed + event-prefix
+artifact a faithful reproduction of a violation.  The generator samples
+event kinds by weight and then picks feasible parameters against the
+live controller state, so a generated event never trips the
+controller's own precondition errors (those would be generator bugs,
+not system bugs).
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.controller import DuetController
+from repro.net.failures import FailureScenario, isolated_switches
+from repro.workload.vips import Dip, Vip
+
+
+class EventKind(enum.Enum):
+    """Everything the chaos engine can do to a running deployment."""
+
+    FAIL_SWITCH = "fail_switch"
+    RECOVER_SWITCH = "recover_switch"
+    FAIL_SMUX = "fail_smux"
+    ADD_SMUX = "add_smux"
+    DIP_DOWN = "dip_down"          # health flap: HA reports the DIP dead
+    DIP_UP = "dip_up"              # health flap: the DIP comes back
+    REAP_DIPS = "reap_dips"        # controller consumes the health feed
+    CUT_LINK = "cut_link"
+    RESTORE_LINK = "restore_link"
+    ADD_VIP = "add_vip"
+    REMOVE_VIP = "remove_vip"
+    ADD_DIP = "add_dip"
+    REMOVE_DIP = "remove_dip"
+    REBALANCE = "rebalance"
+    ENABLE_SNAT = "enable_snat"
+    #: Deliberately corrupt state (announce a /32 from a mux that never
+    #: programmed it).  Weight is zero unless explicitly requested; it
+    #: exists to prove the invariant checker and the reproduction
+    #: artifact actually work.
+    SABOTAGE = "sabotage"
+
+
+@dataclass
+class ChaosEvent:
+    """One fully-specified event; params are JSON-serializable."""
+
+    kind: EventKind
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"kind": self.kind.value, "params": self.params}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ChaosEvent":
+        return cls(kind=EventKind(data["kind"]), params=dict(data["params"]))
+
+    def __str__(self) -> str:
+        inside = ", ".join(f"{k}={v}" for k, v in sorted(self.params.items()))
+        return f"{self.kind.value}({inside})"
+
+
+#: Default sampling weights: churn-heavy (the interesting interleavings
+#: come from VIP/DIP churn racing failures), with enough fail/recover
+#: traffic to keep several elements down at any time.
+DEFAULT_WEIGHTS: Dict[EventKind, float] = {
+    EventKind.FAIL_SWITCH: 6.0,
+    EventKind.RECOVER_SWITCH: 5.0,
+    EventKind.FAIL_SMUX: 2.0,
+    EventKind.ADD_SMUX: 2.0,
+    EventKind.DIP_DOWN: 6.0,
+    EventKind.DIP_UP: 4.0,
+    EventKind.REAP_DIPS: 4.0,
+    EventKind.CUT_LINK: 3.0,
+    EventKind.RESTORE_LINK: 3.0,
+    EventKind.ADD_VIP: 5.0,
+    EventKind.REMOVE_VIP: 3.0,
+    EventKind.ADD_DIP: 6.0,
+    EventKind.REMOVE_DIP: 5.0,
+    EventKind.REBALANCE: 8.0,
+    EventKind.ENABLE_SNAT: 2.0,
+    EventKind.SABOTAGE: 0.0,
+}
+
+
+class EventGenerator:
+    """Seeded generator of feasible chaos events.
+
+    Reads (never mutates) the controller to keep each event feasible:
+    it only recovers switches that are actually failed and reachable,
+    only removes a DIP when the VIP keeps at least one, never fails the
+    last SMux, and caps concurrent damage so the deployment stays a
+    deployment rather than a crater.
+    """
+
+    def __init__(
+        self,
+        controller: DuetController,
+        seed: int = 0,
+        weights: Optional[Dict[EventKind, float]] = None,
+        *,
+        max_failed_switch_fraction: float = 0.34,
+        max_smuxes: int = 6,
+        max_cut_cables: int = 3,
+        max_vips: Optional[int] = None,
+    ) -> None:
+        self.controller = controller
+        self.rng = random.Random(seed)
+        self.weights = dict(DEFAULT_WEIGHTS)
+        if weights:
+            self.weights.update(weights)
+        self.max_failed_switches = max(
+            1, int(controller.topology.n_switches * max_failed_switch_fraction)
+        )
+        self.max_smuxes = max_smuxes
+        self.max_cut_cables = max_cut_cables
+        self.max_vips = (
+            max_vips if max_vips is not None
+            else max(4, 2 * len(controller.population))
+        )
+        records = controller.records()
+        self._next_vip_id = 1 + max(
+            (r.vip.vip_id for r in records.values()), default=-1
+        )
+        self._next_vip_addr = 1 + max(records, default=0x0A000000)
+        self._next_dip_addr = 1 + max(
+            (d.addr for r in records.values() for d in r.dips),
+            default=0x64000000,
+        )
+        # Canonical cables (one index per duplex pair) for link events.
+        by_pair: Dict[Tuple[int, int], int] = {}
+        for link in controller.topology.links:
+            pair = (min(link.src, link.dst), max(link.src, link.dst))
+            by_pair.setdefault(pair, link.index)
+        self._cables = sorted(by_pair.values())
+
+    # -- sampling ----------------------------------------------------------
+
+    def next_event(self) -> ChaosEvent:
+        """Sample a feasible event (rejection sampling over kinds); falls
+        back to a rebalance epoch, which is always feasible."""
+        kinds = [k for k, w in self.weights.items() if w > 0]
+        cum = [self.weights[k] for k in kinds]
+        for _ in range(64):
+            kind = self.rng.choices(kinds, weights=cum)[0]
+            event = self._try_build(kind)
+            if event is not None:
+                return event
+        return ChaosEvent(EventKind.REBALANCE)
+
+    def sabotage_event(self) -> ChaosEvent:
+        """A deterministic state corruption: pick a VIP and announce its
+        /32 from a switch that never programmed it."""
+        c = self.controller
+        records = c.records()
+        vip_addr = self.rng.choice(sorted(records))
+        assigned = records[vip_addr].assigned_switch
+        candidates = [
+            i for i in sorted(c.switch_agents) if i != assigned
+        ]
+        return ChaosEvent(EventKind.SABOTAGE, {
+            "vip": vip_addr,
+            "switch": self.rng.choice(candidates),
+        })
+
+    # -- per-kind builders -------------------------------------------------
+
+    def _try_build(self, kind: EventKind) -> Optional[ChaosEvent]:
+        builder = getattr(self, f"_build_{kind.value}", None)
+        if builder is None:
+            if kind in (EventKind.REBALANCE, EventKind.REAP_DIPS):
+                return ChaosEvent(kind)
+            if kind is EventKind.SABOTAGE:
+                return self.sabotage_event()
+            raise AssertionError(f"no builder for {kind}")  # pragma: no cover
+        return builder()
+
+    def _build_fail_switch(self) -> Optional[ChaosEvent]:
+        c = self.controller
+        if len(c.failed_switches) >= self.max_failed_switches:
+            return None
+        live = sorted(set(c.switch_agents) - c.failed_switches)
+        if not live:
+            return None
+        return ChaosEvent(
+            EventKind.FAIL_SWITCH, {"switch": self.rng.choice(live)}
+        )
+
+    def _build_recover_switch(self) -> Optional[ChaosEvent]:
+        c = self.controller
+        feasible = []
+        for switch in sorted(c.failed_switches):
+            scenario = FailureScenario(
+                name="feasibility",
+                failed_switches=frozenset(c.failed_switches - {switch}),
+                failed_links=frozenset(c.failed_links),
+            )
+            if switch not in isolated_switches(c.topology, scenario):
+                feasible.append(switch)
+        if not feasible:
+            return None
+        return ChaosEvent(
+            EventKind.RECOVER_SWITCH, {"switch": self.rng.choice(feasible)}
+        )
+
+    def _build_fail_smux(self) -> Optional[ChaosEvent]:
+        smuxes = self.controller.smuxes
+        if len(smuxes) < 2:
+            return None
+        return ChaosEvent(EventKind.FAIL_SMUX, {
+            "smux": self.rng.choice([s.smux_id for s in smuxes]),
+        })
+
+    def _build_add_smux(self) -> Optional[ChaosEvent]:
+        if len(self.controller.smuxes) >= self.max_smuxes:
+            return None
+        return ChaosEvent(EventKind.ADD_SMUX)
+
+    def _healthy_split(self) -> Tuple[List[Tuple[int, int]], List[Tuple[int, int]]]:
+        """(healthy, unhealthy) lists of (dip, server) over all VIPs."""
+        c = self.controller
+        health = c.collect_health_reports()
+        healthy, unhealthy = [], []
+        for record in c.records().values():
+            for dip in record.dips:
+                entry = (dip.addr, dip.server_id)
+                if health.get(dip.addr, False):
+                    healthy.append(entry)
+                else:
+                    unhealthy.append(entry)
+        return sorted(healthy), sorted(unhealthy)
+
+    def _build_dip_down(self) -> Optional[ChaosEvent]:
+        healthy, _ = self._healthy_split()
+        if not healthy:
+            return None
+        dip, server = self.rng.choice(healthy)
+        return ChaosEvent(EventKind.DIP_DOWN, {"dip": dip, "server": server})
+
+    def _build_dip_up(self) -> Optional[ChaosEvent]:
+        _, unhealthy = self._healthy_split()
+        if not unhealthy:
+            return None
+        dip, server = self.rng.choice(unhealthy)
+        return ChaosEvent(EventKind.DIP_UP, {"dip": dip, "server": server})
+
+    def _build_cut_link(self) -> Optional[ChaosEvent]:
+        c = self.controller
+        if len(c.failed_links) >= 2 * self.max_cut_cables:
+            return None
+        intact = [i for i in self._cables if i not in c.failed_links]
+        if not intact:
+            return None
+        return ChaosEvent(EventKind.CUT_LINK, {"link": self.rng.choice(intact)})
+
+    def _build_restore_link(self) -> Optional[ChaosEvent]:
+        cut = [i for i in self._cables if i in self.controller.failed_links]
+        if not cut:
+            return None
+        return ChaosEvent(
+            EventKind.RESTORE_LINK, {"link": self.rng.choice(cut)}
+        )
+
+    def _build_add_vip(self) -> Optional[ChaosEvent]:
+        c = self.controller
+        if len(c.population) >= self.max_vips:
+            return None
+        n_servers = c.topology.params.n_servers
+        n_dips = self.rng.randint(1, 4)
+        dips = []
+        for _ in range(n_dips):
+            dips.append({
+                "addr": self._next_dip_addr,
+                "server": self.rng.randrange(n_servers),
+            })
+            self._next_dip_addr += 1
+        event = ChaosEvent(EventKind.ADD_VIP, {
+            "vip_id": self._next_vip_id,
+            "addr": self._next_vip_addr,
+            "traffic_bps": float(self.rng.randint(1, 200)) * 1e6,
+            "dips": dips,
+        })
+        self._next_vip_id += 1
+        self._next_vip_addr += 1
+        return event
+
+    def _build_remove_vip(self) -> Optional[ChaosEvent]:
+        c = self.controller
+        if len(c.population) < 2:
+            return None
+        return ChaosEvent(EventKind.REMOVE_VIP, {
+            "vip": self.rng.choice(sorted(c.records())),
+        })
+
+    def _build_add_dip(self) -> Optional[ChaosEvent]:
+        c = self.controller
+        vip_addr = self.rng.choice(sorted(c.records()))
+        event = ChaosEvent(EventKind.ADD_DIP, {
+            "vip": vip_addr,
+            "dip": self._next_dip_addr,
+            "server": self.rng.randrange(c.topology.params.n_servers),
+        })
+        self._next_dip_addr += 1
+        return event
+
+    def _build_remove_dip(self) -> Optional[ChaosEvent]:
+        c = self.controller
+        candidates = [
+            (addr, [d.addr for d in record.dips])
+            for addr, record in sorted(c.records().items())
+            if len(record.dips) >= 2
+        ]
+        if not candidates:
+            return None
+        vip_addr, dips = self.rng.choice(candidates)
+        return ChaosEvent(EventKind.REMOVE_DIP, {
+            "vip": vip_addr,
+            "dip": self.rng.choice(dips),
+        })
+
+    def _build_enable_snat(self) -> Optional[ChaosEvent]:
+        c = self.controller
+        candidates = [
+            addr for addr in sorted(c.records()) if not c.snat_enabled(addr)
+        ]
+        if not candidates:
+            return None
+        return ChaosEvent(
+            EventKind.ENABLE_SNAT, {"vip": self.rng.choice(candidates)}
+        )
+
+
+def build_vip_from_params(
+    controller: DuetController, params: Dict[str, Any]
+) -> Vip:
+    """Materialize the ADD_VIP event's fully-specified VIP."""
+    topology = controller.topology
+    dips = tuple(
+        Dip(
+            addr=d["addr"],
+            server_id=d["server"],
+            tor=topology.server_tor(d["server"]),
+        )
+        for d in params["dips"]
+    )
+    return Vip(
+        vip_id=params["vip_id"],
+        addr=params["addr"],
+        dips=dips,
+        traffic_bps=params["traffic_bps"],
+        ingress_racks=(),
+        internet_fraction=1.0,
+    )

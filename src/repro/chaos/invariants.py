@@ -1,0 +1,541 @@
+"""Invariant battery checked after every chaos event.
+
+Each check returns structured :class:`Violation`\\ s instead of raising,
+so one broken invariant never masks another and the engine can attach
+the full list to the reproduction artifact.  The invariants are the
+paper's availability and consistency claims made executable:
+
+* **reachability** — every VIP still forwards end-to-end (S3.3.1: the
+  SMux aggregates backstop everything); delivery may only fail toward a
+  DIP currently reported unhealthy (a flap the controller has not yet
+  reaped).
+* **lpm-preference** — a VIP assigned to a live HMux resolves to that
+  HMux via its /32; an unassigned (or degraded) VIP resolves to an SMux.
+* **route-liveness** — no route points at a dead mux (a withdrawn HMux
+  or a failed SMux attracting traffic would be a blackhole).
+* **table-capacity** — no switch table exceeds its ASIC capacity.
+* **failed-switch-state** — a dead switch holds no table entries and no
+  announcements (state is lost with the switch, S5.1).
+* **consistency** — controller records, HMux programming, and the SMux
+  full-coverage property all agree.
+* **snat-disjoint** — per-VIP SNAT port ranges never overlap (S5.2).
+* **flow-affinity** (stateful, via :class:`FlowAffinityTracker`) —
+  established flows keep their DIP across events unrelated to their
+  VIP's pool: resilient hashing on HMuxes, connection state on SMuxes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.core.controller import DuetController
+from repro.dataplane.hashing import five_tuple_hash
+from repro.dataplane.hostagent import HostAgentError
+from repro.dataplane.packet import FiveTuple, Packet, make_tcp_packet
+from repro.net.addressing import Prefix, format_ip
+from repro.net.bgp import MuxKind, RouteResolutionError
+from repro.workload.vips import CLIENT_POOL
+
+from repro.chaos.events import ChaosEvent, EventKind
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant, human-readable and artifact-serializable."""
+
+    invariant: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"[{self.invariant}] {self.detail}"
+
+
+def _probe_packet(vip_addr: int, index: int) -> Packet:
+    return make_tcp_packet(
+        CLIENT_POOL.network + 0x4000 + index, vip_addr, 33000 + index, 80,
+    )
+
+
+class InvariantChecker:
+    """Stateless invariants over the controller's current state."""
+
+    def __init__(
+        self, controller: DuetController, probes_per_vip: int = 2
+    ) -> None:
+        self.controller = controller
+        self.probes_per_vip = probes_per_vip
+
+    def check(self) -> List[Violation]:
+        violations: List[Violation] = []
+        violations += self.check_route_liveness()
+        violations += self.check_lpm_preference()
+        violations += self.check_reachability()
+        violations += self.check_table_capacity()
+        violations += self.check_failed_switch_state()
+        violations += self.check_consistency()
+        violations += self.check_snat_disjoint()
+        return violations
+
+    # -- individual invariants ---------------------------------------------
+
+    def check_route_liveness(self) -> List[Violation]:
+        live = self.controller.live_mux_refs()
+        return [
+            Violation(
+                "route-liveness",
+                f"{prefix} still announced by dead mux {mux}",
+            )
+            for prefix, mux in self.controller.route_table.stale_routes(live)
+        ]
+
+    def check_lpm_preference(self) -> List[Violation]:
+        c = self.controller
+        violations: List[Violation] = []
+        for addr, record in sorted(c.records().items()):
+            host = Prefix.host(addr)
+            announcers = c.route_table.announcers(host)
+            if record.assigned_switch is not None:
+                switch = record.assigned_switch
+                if switch in c.failed_switches:
+                    violations.append(Violation(
+                        "lpm-preference",
+                        f"VIP {format_ip(addr)} recorded on failed "
+                        f"switch {switch}",
+                    ))
+                    continue
+                expected = c.switch_agents[switch].mux_ref
+                if announcers != (expected,):
+                    violations.append(Violation(
+                        "lpm-preference",
+                        f"VIP {format_ip(addr)} /32 announcers "
+                        f"{[str(a) for a in announcers]}, expected "
+                        f"[{expected}]",
+                    ))
+            else:
+                if announcers:
+                    violations.append(Violation(
+                        "lpm-preference",
+                        f"SMux-only VIP {format_ip(addr)} has /32 "
+                        f"announcers {[str(a) for a in announcers]}",
+                    ))
+                    continue
+                try:
+                    mux = c.route_table.resolve(addr)
+                except RouteResolutionError:
+                    violations.append(Violation(
+                        "lpm-preference",
+                        f"VIP {format_ip(addr)} has no route at all",
+                    ))
+                    continue
+                if mux.kind is not MuxKind.SMUX:
+                    violations.append(Violation(
+                        "lpm-preference",
+                        f"SMux-only VIP {format_ip(addr)} resolves to {mux}",
+                    ))
+        return violations
+
+    def check_reachability(self) -> List[Violation]:
+        c = self.controller
+        unhealthy = {
+            dip for dip, ok in c.collect_health_reports().items() if not ok
+        }
+        violations: List[Violation] = []
+        for addr, record in sorted(c.records().items()):
+            dip_addrs = set(record.dip_addrs())
+            for index in range(self.probes_per_vip):
+                packet = _probe_packet(addr, index)
+                try:
+                    delivered, _mux = c.forward(packet)
+                except HostAgentError:
+                    # Delivery toward a DIP the health feed currently
+                    # marks dead: expected while the flap is unreaped.
+                    if dip_addrs & unhealthy:
+                        continue
+                    violations.append(Violation(
+                        "reachability",
+                        f"VIP {format_ip(addr)} probe {index} failed at "
+                        "the host agent with no unhealthy DIPs",
+                    ))
+                except Exception as error:  # noqa: BLE001 — any failure is the finding
+                    violations.append(Violation(
+                        "reachability",
+                        f"VIP {format_ip(addr)} probe {index} failed: "
+                        f"{type(error).__name__}: {error}",
+                    ))
+                else:
+                    if delivered.flow.dst_ip not in dip_addrs:
+                        violations.append(Violation(
+                            "reachability",
+                            f"VIP {format_ip(addr)} probe {index} landed "
+                            f"on {format_ip(delivered.flow.dst_ip)}, not "
+                            "one of its DIPs",
+                        ))
+        return violations
+
+    def check_table_capacity(self) -> List[Violation]:
+        c = self.controller
+        violations: List[Violation] = []
+        for index, agent in sorted(c.switch_agents.items()):
+            hmux = agent.hmux
+            usage = (
+                ("host", len(hmux.host_table), hmux.host_table.capacity),
+                ("ecmp", hmux.ecmp_table.used_entries,
+                 hmux.ecmp_table.capacity),
+                ("tunnel", len(hmux.tunnel_table),
+                 hmux.tunnel_table.capacity),
+            )
+            for table, used, capacity in usage:
+                if used > capacity:
+                    violations.append(Violation(
+                        "table-capacity",
+                        f"switch {index} {table} table {used}/{capacity}",
+                    ))
+        return violations
+
+    def check_failed_switch_state(self) -> List[Violation]:
+        c = self.controller
+        violations: List[Violation] = []
+        for index in sorted(c.failed_switches):
+            agent = c.switch_agents[index]
+            if agent.hmux.vips() or len(agent.hmux.host_table):
+                violations.append(Violation(
+                    "failed-switch-state",
+                    f"failed switch {index} still holds HMux table state",
+                ))
+            if c.route_table.announced_by(agent.mux_ref):
+                violations.append(Violation(
+                    "failed-switch-state",
+                    f"failed switch {index} still announces routes",
+                ))
+        return violations
+
+    def check_consistency(self) -> List[Violation]:
+        c = self.controller
+        records = c.records()
+        violations: List[Violation] = []
+        for addr, record in sorted(records.items()):
+            switch = record.assigned_switch
+            if switch is not None and not c.switch_agents[switch].hmux.has_vip(addr):
+                violations.append(Violation(
+                    "consistency",
+                    f"VIP {format_ip(addr)} recorded on switch {switch} "
+                    "but not programmed there",
+                ))
+            if addr in c.degraded_vips and switch is not None:
+                violations.append(Violation(
+                    "consistency",
+                    f"degraded VIP {format_ip(addr)} claims switch {switch}",
+                ))
+        by_switch: Dict[int, Set[int]] = {}
+        for addr, record in records.items():
+            if record.assigned_switch is not None:
+                by_switch.setdefault(record.assigned_switch, set()).add(addr)
+        for index, agent in sorted(c.switch_agents.items()):
+            programmed = set(agent.hmux.vips())
+            expected = by_switch.get(index, set())
+            for addr in sorted(programmed - expected):
+                violations.append(Violation(
+                    "consistency",
+                    f"switch {index} programs VIP {format_ip(addr)} that "
+                    "no record assigns to it",
+                ))
+        population_addrs = {v.addr for v in c.population}
+        if population_addrs != set(records):
+            violations.append(Violation(
+                "consistency",
+                "population and controller records disagree: "
+                f"{sorted(population_addrs ^ set(records))}",
+            ))
+        for smux in c.smuxes:
+            missing = set(records) - set(smux.vips())
+            if missing:
+                violations.append(Violation(
+                    "consistency",
+                    f"SMux {smux.smux_id} is missing VIPs "
+                    f"{[format_ip(a) for a in sorted(missing)]} — the "
+                    "backstop must cover every VIP",
+                ))
+        return violations
+
+    def check_snat_disjoint(self) -> List[Violation]:
+        c = self.controller
+        violations: List[Violation] = []
+        for vip_addr, manager in sorted(c.snat_managers().items()):
+            if not manager.validate_disjoint():
+                violations.append(Violation(
+                    "snat-disjoint",
+                    f"VIP {format_ip(vip_addr)} has overlapping SNAT "
+                    "port ranges",
+                ))
+            if vip_addr not in c.records():
+                violations.append(Violation(
+                    "snat-disjoint",
+                    f"SNAT manager for removed VIP {format_ip(vip_addr)}",
+                ))
+        return violations
+
+
+@dataclass
+class _Expectation:
+    """Where a flow's expected DIP came from.
+
+    ``mux_key`` is the resolving mux at establishment time and
+    ``dip_set`` the VIP's DIP set then (``None`` when the expectation
+    was inherited from pre-existing SMux connection state, whose
+    provenance — the DIP set it was hashed over — is unknowable).
+    Together they decide whether a later remap is a legitimate
+    consequence of state that does not transfer between muxes, or a
+    broken-affinity violation.
+    """
+
+    dip: int
+    mux_key: Tuple[str, int]
+    dip_set: Optional[FrozenSet[int]]
+
+
+class FlowAffinityTracker:
+    """Stateful invariant: established flows keep their DIP.
+
+    The tracker pins a few synthetic flows per VIP to the DIP they first
+    delivered to, then re-forwards them after every event.  The paper's
+    claim (S3.3.1, S4.2) is hash consistency across planes: HMuxes and
+    SMuxes make the same stateless choice over the same DIP set, so
+    migration, switch failure, and SMux fleet churn do not move
+    established flows.  What legitimately *can* move a flow:
+
+    * its DIP was removed/reaped — resilient hashing remaps exactly
+      those flows (detected by the expected DIP leaving the record);
+    * it lands on a *different* mux whose view differs from where the
+      expectation was established: a fresh HMux table is built over the
+      current DIP set (resilient-hashing history does not transfer
+      between switches), and an SMux serves from its own connection
+      table (Ananta state is per-instance).  Concretely, a remap is
+      excused iff the resolving mux changed AND either the VIP's DIP
+      set changed since the expectation was established (the new mux
+      hashes over a set the old one never saw) or the delivery matches
+      a pre-existing pin on the new SMux (connection state from an
+      older epoch of this same synthetic flow).
+
+    Same mux, same DIP set, different DIP — or same mux remapping a
+    flow whose own DIP survived a removal — is always a violation:
+    that is resilient hashing or connection affinity breaking.
+    """
+
+    def __init__(
+        self,
+        controller: DuetController,
+        seed: int = 0,
+        flows_per_vip: int = 2,
+    ) -> None:
+        self.controller = controller
+        self.flows_per_vip = flows_per_vip
+        self.rng = random.Random(seed)
+        self._expected: Dict[FiveTuple, _Expectation] = {}
+        self._vip_of: Dict[FiveTuple, int] = {}
+
+    # -- expectation management --------------------------------------------
+
+    def prime(self) -> None:
+        """Establish expectations for every VIP that lacks them."""
+        tracked = set(self._vip_of.values())
+        for addr in sorted(self.controller.records()):
+            if addr not in tracked:
+                self._prime_vip(addr)
+
+    def _flows_for(self, vip_addr: int) -> List[FiveTuple]:
+        return [
+            FiveTuple(
+                src_ip=CLIENT_POOL.network + 0x8000 + (vip_addr + i) % 0x3FFF,
+                dst_ip=vip_addr,
+                src_port=20000 + i,
+                dst_port=80,
+                protocol=6,
+            )
+            for i in range(self.flows_per_vip)
+        ]
+
+    def _prime_vip(self, vip_addr: int) -> None:
+        for flow in self._flows_for(vip_addr):
+            self._prime_flow(flow, vip_addr)
+
+    def _resolve(self, flow: FiveTuple, vip_addr: int):
+        """(mux_ref, pre-existing pin on the resolving SMux or None)."""
+        flow_hash = five_tuple_hash(flow, self.controller.hash_seed ^ 0xECC)
+        mux = self.controller.route_table.resolve(vip_addr, flow_hash)
+        pin = None
+        if mux.kind is MuxKind.SMUX:
+            for smux in self.controller.smuxes:
+                if smux.smux_id == mux.ident:
+                    pin = smux.pinned_dip(flow)
+                    break
+        return mux, pin
+
+    def _prime_flow(self, flow: FiveTuple, vip_addr: int) -> None:
+        packet = Packet(flow=flow)
+        try:
+            mux, pin = self._resolve(flow, vip_addr)
+            delivered, _ = self.controller.forward(packet)
+        except Exception:
+            # Unreachable right now (e.g. all DIPs flapped down); try
+            # again after the next event.
+            self._expected.pop(flow, None)
+            self._vip_of[flow] = vip_addr
+            return
+        record = self.controller.records().get(vip_addr)
+        self._expected[flow] = _Expectation(
+            dip=delivered.flow.dst_ip,
+            mux_key=(mux.kind.value, mux.ident),
+            dip_set=self._provenance(mux, pin, vip_addr, record),
+        )
+        self._vip_of[flow] = vip_addr
+
+    def _provenance(self, mux, pin, vip_addr, record):
+        """The DIP set a fresh delivery's choice was hashed over, or
+        ``None`` when the choice came from non-transferable state: a
+        pre-existing SMux pin, or an HMux layout evolved by resilient
+        removals (which protects flows in place but matches no fresh
+        build)."""
+        if pin is not None or record is None:
+            return None
+        if mux.kind is MuxKind.HMUX:
+            agent = self.controller.switch_agents.get(mux.ident)
+            if agent is not None and agent.hmux.has_evolved_layout(vip_addr):
+                return None
+        return frozenset(record.dip_addrs())
+
+    def _drop_vip(self, vip_addr: int) -> None:
+        for flow in [f for f, v in self._vip_of.items() if v == vip_addr]:
+            self._vip_of.pop(flow, None)
+            self._expected.pop(flow, None)
+
+    def note(self, event: ChaosEvent) -> None:
+        """Absorb an applied event before the next check."""
+        kind = event.kind
+        if kind is EventKind.REMOVE_VIP:
+            self._drop_vip(event.params["vip"])
+        elif kind is EventKind.ADD_VIP:
+            self._prime_vip(event.params["addr"])
+        elif kind is EventKind.ADD_DIP:
+            # The bounce rebuilt every table for this VIP over the grown
+            # set (S5.2: additions defeat resilient hashing), so prior
+            # expectations lost their provenance — re-establish them.
+            self._prime_vip(event.params["vip"])
+
+    # -- the check ---------------------------------------------------------
+
+    def check(self) -> List[Violation]:
+        c = self.controller
+        records = c.records()
+        unhealthy = {
+            dip for dip, ok in c.collect_health_reports().items() if not ok
+        }
+        violations: List[Violation] = []
+        for flow, vip_addr in list(self._vip_of.items()):
+            record = records.get(vip_addr)
+            if record is None:
+                # VIP vanished without a REMOVE_VIP event reaching
+                # note(); treat as stale tracking, not a violation.
+                self._drop_vip(vip_addr)
+                continue
+            expectation = self._expected.get(flow)
+            if expectation is None:
+                self._prime_flow(flow, vip_addr)
+                continue
+            dip_addrs = set(record.dip_addrs())
+            if expectation.dip not in dip_addrs:
+                # The flow's DIP was removed: resilient hashing remaps
+                # exactly these flows.  Establish the new expectation.
+                self._prime_flow(flow, vip_addr)
+                continue
+            if (
+                expectation.dip_set is not None
+                and expectation.dip_set - dip_addrs
+                and not dip_addrs - expectation.dip_set
+            ):
+                # Another DIP of this VIP was removed.  The serving HMux
+                # table evolved *resiliently* (this flow's DIP is
+                # protected in place), but that evolved layout differs
+                # from any fresh build over the shrunk set — the
+                # protection does not transfer to another mux.  Keep
+                # enforcing the DIP on this mux; mark the provenance
+                # non-transferable.
+                expectation = _Expectation(
+                    dip=expectation.dip,
+                    mux_key=expectation.mux_key,
+                    dip_set=None,
+                )
+                self._expected[flow] = expectation
+            if expectation.dip in unhealthy:
+                continue  # delivery would fail; re-check once healthy
+            packet = Packet(flow=flow)
+            try:
+                mux, pin = self._resolve(flow, vip_addr)
+                delivered, _ = c.forward(packet)
+            except HostAgentError as error:
+                if dip_addrs & unhealthy:
+                    # The flow was remapped onto a flapped-down DIP the
+                    # controller has not reaped yet; re-establish once
+                    # the pool heals.
+                    self._expected.pop(flow, None)
+                    continue
+                violations.append(Violation(
+                    "flow-affinity",
+                    f"established flow to VIP {format_ip(vip_addr)} "
+                    f"stopped forwarding: {type(error).__name__}: {error}",
+                ))
+                continue
+            except Exception as error:  # noqa: BLE001
+                violations.append(Violation(
+                    "flow-affinity",
+                    f"established flow to VIP {format_ip(vip_addr)} "
+                    f"stopped forwarding: {type(error).__name__}: {error}",
+                ))
+                continue
+            got = delivered.flow.dst_ip
+            mux_key = (mux.kind.value, mux.ident)
+            if got == expectation.dip:
+                if mux_key != expectation.mux_key:
+                    # Same DIP, new serving mux: re-anchor the
+                    # expectation's provenance to the mux now holding
+                    # the flow (its table/pin is what future checks
+                    # must stay consistent with).
+                    self._expected[flow] = _Expectation(
+                        dip=got,
+                        mux_key=mux_key,
+                        dip_set=self._provenance(
+                            mux, pin, vip_addr, record
+                        ),
+                    )
+                continue
+            moved_mux = mux_key != expectation.mux_key
+            set_drifted = (
+                expectation.dip_set is None
+                or frozenset(dip_addrs) != expectation.dip_set
+            )
+            dips_added = (
+                expectation.dip_set is not None
+                and bool(dip_addrs - expectation.dip_set)
+            )
+            stale_pin = pin is not None and pin == got
+            if moved_mux and (set_drifted or stale_pin):
+                # Legitimate remap (see class docstring): the flow
+                # landed on a mux whose view of the VIP differs from
+                # where the expectation was established.
+                self._prime_flow(flow, vip_addr)
+                continue
+            if not moved_mux and dips_added:
+                # A DIP was added since the expectation was
+                # established: the add_dip bounce rebuilt this mux's
+                # table over a set it never hashed before (S5.2 —
+                # additions defeat resilient hashing).
+                self._prime_flow(flow, vip_addr)
+                continue
+            violations.append(Violation(
+                "flow-affinity",
+                f"flow to VIP {format_ip(vip_addr)} moved from DIP "
+                f"{format_ip(expectation.dip)} to {format_ip(got)} "
+                f"via {mux}",
+            ))
+        return violations

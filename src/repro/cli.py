@@ -115,6 +115,36 @@ def _build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--epochs", type=int, default=18)
     info = workload_sub.add_parser("info", help="describe a workload file")
     info.add_argument("path", help="population JSON path")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="randomized fault injection against a live controller",
+    )
+    chaos.add_argument("--seed", type=int, default=0)
+    chaos.add_argument("--events", type=int, default=500,
+                       help="number of chaos events to inject")
+    chaos.add_argument("--vips", type=int, default=24)
+    chaos.add_argument("--smuxes", type=int, default=3)
+    chaos.add_argument("--fail-prob", type=float, default=0.0,
+                       help="transient switch-programming fault probability")
+    chaos.add_argument("--max-consecutive", type=int, default=2,
+                       help="max consecutive transient faults per (switch, VIP)")
+    chaos.add_argument("--broken-switch", type=int, action="append",
+                       default=[], metavar="INDEX",
+                       help="switch that rejects every programming op "
+                            "(repeatable; forces SMux-only degradation)")
+    chaos.add_argument("--sabotage-at", type=int, default=None,
+                       metavar="STEP",
+                       help="deliberately corrupt state at STEP to prove "
+                            "the checker and artifact pipeline work")
+    chaos.add_argument("--keep-going", action="store_true",
+                       help="continue past the first violation")
+    chaos.add_argument("--artifact", metavar="PATH", default=None,
+                       help="where to write the reproduction artifact on "
+                            "violation (default: chaos-artifact.json)")
+    chaos.add_argument("--replay", metavar="PATH", default=None,
+                       help="replay a previously saved artifact instead "
+                            "of generating events")
     return parser
 
 
@@ -293,6 +323,69 @@ def _cmd_workload_info(path: str) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    from repro.chaos import ChaosConfig, ChaosEngine, replay_artifact
+
+    if args.replay is not None:
+        try:
+            report = replay_artifact(args.replay)
+        except (OSError, ValueError, KeyError) as error:
+            print(f"cannot replay artifact: {error}", file=sys.stderr)
+            return 2
+        if report.first_violation_step is not None:
+            print(f"artifact reproduces: violation at step "
+                  f"{report.first_violation_step}")
+            for violation in report.violations:
+                print(f"  {violation}")
+            return 1
+        print(f"artifact did NOT reproduce after {report.steps_run} events")
+        return 2
+
+    config = ChaosConfig(
+        seed=args.seed,
+        n_events=args.events,
+        n_vips=args.vips,
+        n_smuxes=args.smuxes,
+        fail_prob=args.fail_prob,
+        fault_max_consecutive=args.max_consecutive,
+        broken_switches=tuple(args.broken_switch),
+        stop_on_violation=not args.keep_going,
+        sabotage_step=args.sabotage_at,
+    )
+    engine = ChaosEngine(config)
+    started = time.monotonic()
+    report = engine.run()
+    elapsed = time.monotonic() - started
+    print(f"{report.steps_run} events in {elapsed:.1f}s "
+          f"(seed {config.seed}):")
+    width = max((len(k) for k in report.event_counts), default=1)
+    for kind in sorted(report.event_counts):
+        print(f"  {kind.ljust(width)}  {report.event_counts[kind]}")
+    stats = engine.controller.programming_stats
+    print(f"programming: {stats.attempts} attempts, "
+          f"{stats.transient_faults} transient faults, "
+          f"{stats.degraded} degradations, "
+          f"{stats.skipped_dead_switch} dead-switch skips")
+    degraded = sorted(engine.controller.degraded_vips)
+    if degraded:
+        from repro.net.addressing import format_ip
+
+        print("degraded to SMux-only: "
+              + ", ".join(format_ip(a) for a in degraded))
+    if report.ok:
+        print("invariants: all held")
+        return 0
+    print(f"violations ({len(report.violations)}), first at step "
+          f"{report.first_violation_step}:")
+    for violation in report.violations:
+        print(f"  {violation}")
+    artifact_path = args.artifact or "chaos-artifact.json"
+    report.artifact.save(artifact_path)
+    print(f"reproduction artifact -> {artifact_path} "
+          f"(replay with: python -m repro chaos --replay {artifact_path})")
+    return 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "list":
@@ -311,6 +404,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.workload_command == "generate":
             return _cmd_workload_generate(args)
         return _cmd_workload_info(args.path)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

@@ -15,7 +15,9 @@ from repro.core.snat import PortRange, SnatError, SnatPortManager, slots_of_dip
 from repro.core.controller import (
     ControllerError,
     DuetController,
+    ProgrammingStats,
     SwitchAgent,
+    SwitchProgrammingError,
     VipRecord,
 )
 from repro.core.linkload import (
@@ -72,7 +74,9 @@ __all__ = [
     "SnatPortManager",
     "StepKind",
     "StickyMigrator",
+    "ProgrammingStats",
     "SwitchAgent",
+    "SwitchProgrammingError",
     "UtilizationReport",
     "VipRecord",
     "ananta_smux_count",

@@ -39,8 +39,14 @@ from repro.dataplane.hmux import HMux, HMuxError
 from repro.dataplane.hostagent import HostAgent
 from repro.dataplane.packet import Packet
 from repro.dataplane.smux import SMux
+from repro.dataplane.tables import TableEntryError
 from repro.net.addressing import Prefix, format_ip
 from repro.net.bgp import MuxKind, MuxRef, VipRouteTable
+from repro.net.failures import (
+    FailureScenario,
+    FaultModel,
+    isolated_switches,
+)
 from repro.net.topology import Topology
 from repro.workload.vips import (
     SMUX_AGGREGATES,
@@ -57,11 +63,32 @@ class ControllerError(Exception):
     """Invalid controller operation."""
 
 
+class SwitchProgrammingError(ControllerError):
+    """A switch-agent programming RPC failed transiently (injected by a
+    :class:`~repro.net.failures.FaultModel`).  The controller retries
+    with backoff and ultimately degrades the VIP to SMux-only."""
+
+
+@dataclass
+class ProgrammingStats:
+    """Observability counters for the assignment updater's RPC path."""
+
+    attempts: int = 0
+    transient_faults: int = 0
+    degraded: int = 0              # retry budget exhausted -> SMux-only
+    skipped_dead_switch: int = 0   # plan step targeted a failed switch
+    backoff_s: float = 0.0         # cumulative modelled backoff
+
+
 class SwitchAgent:
     """The per-switch agent: programs the HMux and announces routes (S6).
 
     "On every VIP change, the switch agent fires routing updates over
-    BGP" — here, synchronously against the shared route table.
+    BGP" — here, synchronously against the shared route table.  An
+    optional :class:`~repro.net.failures.FaultModel` injects transient
+    RPC failures into the programming ops (never the withdrawals: a
+    failed withdrawal would strand a route, which BGP itself prevents —
+    the neighbours withdraw on session loss).
     """
 
     def __init__(
@@ -69,11 +96,22 @@ class SwitchAgent:
         switch_index: int,
         hmux: HMux,
         route_table: VipRouteTable,
+        fault_model: Optional[FaultModel] = None,
     ) -> None:
         self.switch_index = switch_index
         self.hmux = hmux
         self.route_table = route_table
         self.mux_ref = MuxRef.hmux(switch_index)
+        self.fault_model = fault_model
+
+    def _check_fault(self, op: str, vip: int) -> None:
+        if self.fault_model is not None and self.fault_model.attempt(
+            op, self.switch_index, vip
+        ):
+            raise SwitchProgrammingError(
+                f"transient fault: {op} of VIP {format_ip(vip)} on "
+                f"switch {self.switch_index}"
+            )
 
     def add_vip(
         self,
@@ -82,6 +120,7 @@ class SwitchAgent:
         weights: Optional[Sequence[float]] = None,
     ) -> None:
         """Program the tables, then announce the /32 (make-before-break)."""
+        self._check_fault("program_vip", vip)
         self.hmux.program_vip(vip, encap_ips, weights)
         self.route_table.announce(Prefix.host(vip), self.mux_ref)
 
@@ -98,6 +137,7 @@ class SwitchAgent:
     ) -> None:
         """Install the per-port ACL pools alongside the VIP (Figure 8)."""
         for port, pool in port_pools:
+            self._check_fault("program_vip_port", vip)
             self.hmux.program_vip_port(vip, port, list(pool))
 
     def remove_vip_port_rules(
@@ -113,9 +153,12 @@ class SwitchAgent:
 
     def fail(self) -> int:
         """Switch death: all announcements disappear via BGP withdrawals
-        from the neighbours (S5.1).  The HMux state is lost with the
-        switch.  Returns the number of routes withdrawn."""
-        return self.route_table.withdraw_all(self.mux_ref)
+        from the neighbours (S5.1), and the ASIC tables are wiped — state
+        really is lost with the switch, so a later recovery starts from
+        an empty HMux.  Returns the number of routes withdrawn."""
+        withdrawn = self.route_table.withdraw_all(self.mux_ref)
+        self.hmux.reset()
+        return withdrawn
 
 
 @dataclass
@@ -162,9 +205,14 @@ class DuetController:
         config: AssignmentConfig = AssignmentConfig(),
         hash_seed: int = 0,
         virtualized: bool = False,
+        fault_model: Optional[FaultModel] = None,
+        max_program_attempts: int = 3,
+        retry_backoff_s: float = 0.05,
     ) -> None:
         if n_smuxes < 1:
             raise ControllerError("need at least one SMux")
+        if max_program_attempts < 1:
+            raise ControllerError("need at least one programming attempt")
         self.topology = topology
         self.population = population
         self.config = config
@@ -172,6 +220,10 @@ class DuetController:
         self.virtualized = virtualized
         self.route_table = VipRouteTable()
         self.assignment: Optional[Assignment] = None
+        self.max_program_attempts = max_program_attempts
+        self.retry_backoff_s = retry_backoff_s
+        self.programming_stats = ProgrammingStats()
+        self._fault_model = fault_model
 
         self.switch_agents: Dict[int, SwitchAgent] = {
             s.index: SwitchAgent(
@@ -182,6 +234,7 @@ class DuetController:
                     hash_seed=hash_seed,
                 ),
                 self.route_table,
+                fault_model=fault_model,
             )
             for s in topology.switches
         }
@@ -189,11 +242,17 @@ class DuetController:
             SMux(i, SMUX_POOL.network + i, hash_seed=hash_seed)
             for i in range(n_smuxes)
         ]
+        self._next_smux_id = n_smuxes
         self.host_agents: Dict[int, HostAgent] = {}
         self._dip_to_server: Dict[int, int] = {}
         self._records: Dict[int, VipRecord] = {}
         self._failed_switches: Set[int] = set()
+        self._failed_links: Set[int] = set()
         self._snat_managers: Dict[int, object] = {}
+        #: VIPs the assignment wanted on an HMux but that are being served
+        #: by the SMux backstop instead (programming ultimately failed or
+        #: the target switch was dead) — the overflow set of S3.3.2.
+        self.degraded_vips: Set[int] = set()
 
         for vip in population:
             self._register_vip(vip)
@@ -259,6 +318,7 @@ class DuetController:
 
     def _execute_plan(self, plan: MigrationPlan, new: Assignment) -> None:
         vips_by_id = {v.vip_id: v for v in self.population}
+        degraded_ids: List[int] = []
         for step in plan.steps:
             vip = vips_by_id.get(step.vip_id)
             if vip is None:
@@ -274,15 +334,102 @@ class DuetController:
                     agent.remove_vip(vip.addr)
                 record.assigned_switch = None
             else:
+                if step.switch_index in self._failed_switches:
+                    # An arbitrary Assignment (or a failure racing the
+                    # plan) must never program a dead switch and
+                    # re-announce its routes: the VIP stays on the SMux
+                    # backstop until a rebalance re-homes it.
+                    self.programming_stats.skipped_dead_switch += 1
+                    self._degrade(record)
+                    degraded_ids.append(step.vip_id)
+                    continue
+                if self._program_vip_with_retry(
+                    record, vip, step.switch_index
+                ):
+                    record.assigned_switch = step.switch_index
+                    self.degraded_vips.discard(vip.addr)
+                else:
+                    self._degrade(record)
+                    degraded_ids.append(step.vip_id)
+        # Reconcile the stored assignment with what actually landed, so
+        # the next sticky rebalance retries degraded VIPs instead of
+        # believing they are already placed.
+        for vip_id in degraded_ids:
+            new.vip_to_switch.pop(vip_id, None)
+            if vip_id not in new.unassigned:
+                new.unassigned.append(vip_id)
+        self.assignment = new
+
+    def _degrade_and_reconcile(self, record: VipRecord) -> None:
+        """Degrade a VIP outside plan execution: mark it SMux-only and
+        drop it from the stored assignment so the next rebalance retries
+        the placement."""
+        self._degrade(record)
+        if self.assignment is not None:
+            vip_id = record.vip.vip_id
+            self.assignment.vip_to_switch.pop(vip_id, None)
+            if vip_id not in self.assignment.unassigned:
+                self.assignment.unassigned.append(vip_id)
+
+    def _degrade(self, record: VipRecord) -> None:
+        """Leave a VIP SMux-only (the overflow path of S3.3.2): the SMux
+        aggregates already cover it, so service continues — degraded, not
+        down."""
+        record.assigned_switch = None
+        if record.addr not in self.degraded_vips:
+            self.degraded_vips.add(record.addr)
+            self.programming_stats.degraded += 1
+
+    def _program_vip_with_retry(
+        self, record: VipRecord, vip: Vip, switch_index: int
+    ) -> bool:
+        """Program + announce a VIP on a switch with bounded retry and
+        exponential backoff; True on success.
+
+        Transient faults (:class:`SwitchProgrammingError`) are retried;
+        capacity exhaustion (:class:`~repro.dataplane.tables.TableEntryError`)
+        is deterministic, so it fails fast.  Either way a False return
+        leaves the switch clean: a partially-programmed VIP is torn down
+        before reporting failure.
+        """
+        agent = self.switch_agents[switch_index]
+        stats = self.programming_stats
+        backoff = self.retry_backoff_s
+        for attempt in range(self.max_program_attempts):
+            stats.attempts += 1
+            if attempt > 0:
+                stats.backoff_s += backoff
+                backoff *= 2
+            try:
                 agent.add_vip(
-                    vip.addr,
+                    record.addr,
                     record.encap_targets(self.virtualized),
                     record.encap_weights(),
                 )
                 if vip.port_pools:
-                    agent.add_vip_port_rules(vip.addr, vip.port_pools)
-                record.assigned_switch = step.switch_index
-        self.assignment = new
+                    agent.add_vip_port_rules(record.addr, vip.port_pools)
+                return True
+            except SwitchProgrammingError:
+                stats.transient_faults += 1
+                self._unwind_partial_vip(agent, vip)
+                continue
+            except TableEntryError:
+                self._unwind_partial_vip(agent, vip)
+                return False
+        return False
+
+    def _unwind_partial_vip(self, agent: SwitchAgent, vip: Vip) -> None:
+        """Remove whatever slice of a VIP landed before a programming
+        fault, so retries (and the capacity invariants) see a clean
+        switch."""
+        installed = [
+            port for port, _ in vip.port_pools
+            if agent.hmux.has_vip_port(vip.addr, port)
+        ]
+        if installed:
+            agent.remove_vip_port_rules(vip.addr, installed)
+        if agent.hmux.has_vip(vip.addr):
+            agent.remove_vip(vip.addr)
 
     # -- VIP lifecycle (S5.2) ---------------------------------------------------------
 
@@ -292,8 +439,7 @@ class DuetController:
         if vip.addr in self._records:
             raise ControllerError(f"VIP {format_ip(vip.addr)} already exists")
         self._register_vip(vip)
-        self.population.vips.append(vip)
-        self.population._by_addr[vip.addr] = vip
+        self.population.add(vip)
 
     def remove_vip(self, vip_addr: int) -> None:
         """Remove from its HMux (if any) and from all SMuxes."""
@@ -309,10 +455,9 @@ class DuetController:
             agent = self.host_agents[dip.server_id]
             agent.unregister_dip(dip.addr)
             del self._dip_to_server[dip.addr]
-        self.population.vips = [
-            v for v in self.population.vips if v.addr != vip_addr
-        ]
-        self.population._by_addr.pop(vip_addr, None)
+        self.population.remove(vip_addr)
+        self.degraded_vips.discard(vip_addr)
+        self._snat_managers.pop(vip_addr, None)
 
     def add_dip(self, vip_addr: int, dip: Dip) -> None:
         """DIP addition with the SMux bounce (S5.2): resilient hashing
@@ -333,14 +478,18 @@ class DuetController:
                 record.encap_targets(self.virtualized),
                 record.encap_weights(),
             )
-        # Step 3: move the VIP back to its HMux.
-        if switch is not None and switch not in self._failed_switches:
-            self.switch_agents[switch].add_vip(
-                vip_addr,
-                record.encap_targets(self.virtualized),
-                record.encap_weights(),
-            )
-            record.assigned_switch = switch
+        # Step 3: move the VIP back to its HMux (through the same guarded
+        # retry path as plan execution: a dead or unprogrammable switch
+        # leaves the VIP on the SMux backstop instead of raising).
+        if switch is not None:
+            if switch in self._failed_switches:
+                self.programming_stats.skipped_dead_switch += 1
+                self._degrade_and_reconcile(record)
+            elif self._program_vip_with_retry(record, record.vip, switch):
+                record.assigned_switch = switch
+                self.degraded_vips.discard(vip_addr)
+            else:
+                self._degrade_and_reconcile(record)
 
     def remove_dip(self, vip_addr: int, dip_addr: int) -> None:
         """DIP removal / failure (S5.1-S5.2): resilient hashing on the
@@ -393,8 +542,45 @@ class DuetController:
         affected = agent.hmux.vips()
         agent.fail()
         for vip_addr in affected:
-            self._records[vip_addr].assigned_switch = None
+            record = self._records[vip_addr]
+            record.assigned_switch = None
+            # Reconcile the stored assignment too: the sticky rebalance
+            # diffs against it, and a mapping to the dead switch would
+            # make the displaced VIP look already-placed — it would
+            # never be re-programmed after the switch recovers.
+            if self.assignment is not None:
+                vip_id = record.vip.vip_id
+                self.assignment.vip_to_switch.pop(vip_id, None)
+                if vip_id not in self.assignment.unassigned:
+                    self.assignment.unassigned.append(vip_id)
         return affected
+
+    def recover_switch(self, switch_index: int) -> None:
+        """A failed switch comes back (S5.1 recovery): it boots with an
+        empty ASIC and announces nothing, so recovery is invisible to
+        traffic.  Its displaced VIPs return via the sticky rebalance path
+        (S4.2) — call :meth:`rebalance` to re-home them."""
+        if switch_index not in self._failed_switches:
+            raise ControllerError(
+                f"switch {switch_index} is not failed"
+            )
+        remaining = self._failed_switches - {switch_index}
+        scenario = FailureScenario(
+            name="recovery-check",
+            failed_switches=frozenset(remaining),
+            failed_links=frozenset(self._failed_links),
+        )
+        if switch_index in isolated_switches(self.topology, scenario):
+            raise ControllerError(
+                f"switch {switch_index} is still isolated by failed "
+                "links; restore connectivity first"
+            )
+        agent = self.switch_agents[switch_index]
+        if agent.hmux.vips() or self.route_table.announced_by(agent.mux_ref):
+            raise ControllerError(
+                f"switch {switch_index} recovered with residual state"
+            )
+        self._failed_switches.discard(switch_index)
 
     def fail_smux(self, smux_id: int) -> None:
         """"SMux failure ... Switches detect SMux failure through BGP,
@@ -407,6 +593,66 @@ class DuetController:
         ref = MuxRef.smux(smux_id)
         self.route_table.withdraw_all(ref)
         self.smuxes = alive
+
+    def add_smux(self) -> SMux:
+        """Scale out the backstop: stand up a new SMux, program *every*
+        VIP into it, then announce the aggregates (make-before-break —
+        a route must never attract traffic the mux cannot serve).
+        SMux ids are never reused: lingering state on a crashed instance
+        must not be mistaken for the new one."""
+        smux = SMux(
+            self._next_smux_id,
+            SMUX_POOL.network + self._next_smux_id,
+            hash_seed=self.hash_seed,
+        )
+        self._next_smux_id += 1
+        for record in self._records.values():
+            smux.set_vip(
+                record.addr,
+                record.encap_targets(self.virtualized),
+                record.encap_weights(),
+            )
+            for port, pool in record.vip.port_pools:
+                smux.set_vip_port(record.addr, port, list(pool))
+        self.smuxes.append(smux)
+        ref = MuxRef.smux(smux.smux_id)
+        for aggregate in SMUX_AGGREGATES:
+            self.route_table.announce(aggregate, ref)
+        return smux
+
+    def cut_link(self, link_index: int, *, bidirectional: bool = True) -> List[int]:
+        """Cut a cable (both directions by default).  VIP routing itself
+        is link-agnostic at this abstraction, but "a link failure [that]
+        isolates a switch" is treated as a switch failure (S5.1): any
+        switch the cut disconnects from every live core is failed, and
+        the affected VIPs fall to the SMuxes.  Returns the switches
+        promoted to failed."""
+        link = self.topology.links[link_index]
+        self._failed_links.add(link_index)
+        if bidirectional:
+            self._failed_links.add(
+                self.topology.link_between(link.dst, link.src).index
+            )
+        scenario = FailureScenario(
+            name="link-cut",
+            failed_switches=frozenset(self._failed_switches),
+            failed_links=frozenset(self._failed_links),
+        )
+        promoted = sorted(isolated_switches(self.topology, scenario))
+        for switch_index in promoted:
+            self.fail_switch(switch_index)
+        return promoted
+
+    def restore_link(self, link_index: int, *, bidirectional: bool = True) -> None:
+        """Repair a cut cable.  Switches that were failed-by-isolation
+        stay failed until :meth:`recover_switch` — physical connectivity
+        returning does not mean the switch rejoined BGP."""
+        link = self.topology.links[link_index]
+        self._failed_links.discard(link_index)
+        if bidirectional:
+            self._failed_links.discard(
+                self.topology.link_between(link.dst, link.src).index
+            )
 
     # -- end-to-end forwarding (for tests/examples) ------------------------------------
 
@@ -473,7 +719,9 @@ class DuetController:
         if demands is None:
             demands = [v.demand() for v in self.population]
         router = EcmpRouter(
-            self.topology, failed_switches=self._failed_switches,
+            self.topology,
+            failed_switches=self._failed_switches,
+            failed_links=self._failed_links,
         )
         migrator = StickyMigrator(
             self.topology,
@@ -618,6 +866,42 @@ class DuetController:
 
     def record(self, vip_addr: int) -> VipRecord:
         return self._require(vip_addr)
+
+    def records(self) -> Dict[int, VipRecord]:
+        """Read-only view: VIP address -> controller record."""
+        return dict(self._records)
+
+    @property
+    def failed_switches(self) -> Set[int]:
+        return set(self._failed_switches)
+
+    @property
+    def failed_links(self) -> Set[int]:
+        return set(self._failed_links)
+
+    def live_mux_refs(self) -> Set[MuxRef]:
+        """Every mux a route may legitimately point at right now."""
+        refs: Set[MuxRef] = {MuxRef.smux(s.smux_id) for s in self.smuxes}
+        refs.update(
+            MuxRef.hmux(index)
+            for index in self.switch_agents
+            if index not in self._failed_switches
+        )
+        return refs
+
+    def snat_enabled(self, vip_addr: int) -> bool:
+        return vip_addr in self._snat_managers
+
+    def snat_managers(self) -> Dict[int, object]:
+        """Read-only view of the per-VIP SNAT port managers."""
+        return dict(self._snat_managers)
+
+    def set_fault_model(self, fault_model: Optional[FaultModel]) -> None:
+        """Swap the transient-fault injector on every switch agent (the
+        chaos engine uses this to turn faults on/off mid-run)."""
+        self._fault_model = fault_model
+        for agent in self.switch_agents.values():
+            agent.fault_model = fault_model
 
     def vip_location(self, vip_addr: int) -> Optional[int]:
         """Switch hosting the VIP, or None when it is SMux-only."""

@@ -130,8 +130,28 @@ class HMux:
         self.tunnel_table = TunnelingTable(tables.tunnel_table)
         self.acl_table = AclTable()
         self.counters = HMuxCounters()
+        self._tables_spec = tables
+        self._host_table_reserved = host_table_reserved
         self._vips: Dict[int, _VipState] = {}
         self._port_vips: Dict[Tuple[int, int], _VipState] = {}
+        self._evolved_vips: set = set()
+
+    def reset(self) -> None:
+        """Power-cycle the switch: every table entry and counter is gone.
+
+        Switch ASIC state does not survive a crash, so the agent calls
+        this on failure — a recovered switch must come back *empty* and be
+        re-programmed from the controller's records (S5.1)."""
+        self.host_table = HostForwardingTable(
+            self._tables_spec.host_table, reserved=self._host_table_reserved
+        )
+        self.ecmp_table = EcmpTable(self._tables_spec.ecmp_table)
+        self.tunnel_table = TunnelingTable(self._tables_spec.tunnel_table)
+        self.acl_table = AclTable()
+        self.counters = HMuxCounters()
+        self._vips.clear()
+        self._port_vips.clear()
+        self._evolved_vips.clear()
 
     # -- programming -----------------------------------------------------------
 
@@ -189,6 +209,7 @@ class HMux:
             hash_table=hash_table,
             is_tip=is_tip,
         )
+        self._evolved_vips.discard(vip)
 
     def program_vip_port(
         self,
@@ -236,6 +257,7 @@ class HMux:
         state = self._vips.pop(vip, None)
         if state is None:
             raise HMuxError(f"VIP {format_ip(vip)} not programmed")
+        self._evolved_vips.discard(vip)
         self._teardown(state, from_acl=False)
 
     def remove_vip_port(self, vip: int, port: int) -> None:
@@ -266,6 +288,7 @@ class HMux:
         victim = self._find_tunnel_index(state, encap_ip)
         rewritten = state.hash_table.remove_member(victim)
         self.tunnel_table.free_block(victim, 1)
+        self._evolved_vips.add(vip)
         return rewritten
 
     def add_dip(self, vip: int, encap_ip: int) -> None:
@@ -323,6 +346,17 @@ class HMux:
 
     def has_vip(self, vip: int) -> bool:
         return vip in self._vips
+
+    def has_vip_port(self, vip: int, port: int) -> bool:
+        return (vip, port) in self._port_vips
+
+    def has_evolved_layout(self, vip: int) -> bool:
+        """True when the VIP's ECMP group has absorbed resilient DIP
+        removals since its last fresh program.  An evolved layout keeps
+        surviving flows in place (S5.1) but no longer matches a fresh
+        build over the same member set, so its flow-to-DIP choices do
+        not transfer to any other mux."""
+        return vip in self._evolved_vips
 
     def vips(self) -> List[int]:
         return sorted(self._vips)

@@ -218,6 +218,10 @@ class SMux:
             raise SMuxError(f"VIP {format_ip(vip)} not installed")
         return list(mapping.dips)
 
+    def port_vips(self) -> List[Tuple[int, int]]:
+        """(vip, port) keys of the installed port-specific pools."""
+        return sorted(self._port_vips)
+
     # -- data plane ----------------------------------------------------------------
 
     def process(self, packet: Packet) -> Optional[Packet]:

@@ -155,6 +155,24 @@ class VipRouteTable:
     def announced_by(self, mux: MuxRef) -> Set[Prefix]:
         return set(self._announcements.get(mux, set()))
 
+    def announcing_muxes(self) -> Set[MuxRef]:
+        """Every mux currently announcing at least one prefix."""
+        return set(self._announcements)
+
+    def stale_routes(
+        self, live: Set[MuxRef]
+    ) -> List[Tuple[Prefix, MuxRef]]:
+        """Routes announced by muxes outside ``live`` — each one is a
+        blackhole in waiting (a dead mux attracting traffic).  The chaos
+        invariant checker asserts this list is empty after every event."""
+        stale: List[Tuple[Prefix, MuxRef]] = []
+        for mux, prefixes in self._announcements.items():
+            if mux in live:
+                continue
+            for prefix in sorted(prefixes):
+                stale.append((prefix, mux))
+        return stale
+
     def announcers(self, prefix: Prefix) -> Tuple[MuxRef, ...]:
         hops = self._lpm.get_exact(prefix)
         if hops is None:

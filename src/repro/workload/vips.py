@@ -187,6 +187,24 @@ class VipPopulation:
     def by_addr(self, addr: int) -> Vip:
         return self._by_addr[addr]
 
+    def has_addr(self, addr: int) -> bool:
+        return addr in self._by_addr
+
+    def add(self, vip: Vip) -> None:
+        """Add a VIP to the population (controller VIP lifecycle, S5.2)."""
+        if vip.addr in self._by_addr:
+            raise ValueError(f"duplicate VIP address {vip.addr}")
+        self.vips.append(vip)
+        self._by_addr[vip.addr] = vip
+
+    def remove(self, addr: int) -> Vip:
+        """Remove and return the VIP at ``addr``."""
+        vip = self._by_addr.pop(addr, None)
+        if vip is None:
+            raise KeyError(f"no VIP at address {addr}")
+        self.vips.remove(vip)
+        return vip
+
     @property
     def total_traffic_bps(self) -> float:
         return sum(v.traffic_bps for v in self.vips)

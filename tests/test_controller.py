@@ -237,6 +237,168 @@ class TestDipLifecycle:
         assert len(controller.record(vip.addr).dips) == vip.n_dips - 1
 
 
+class TestSwitchRecoveryLifecycle:
+    def _hmux_vip(self, controller):
+        return next(
+            v for v in controller.population
+            if controller.vip_location(v.addr) is not None
+        )
+
+    def test_fail_switch_wipes_hmux_state(self, controller):
+        """S5.1: ASIC state is lost with the switch — a failed agent
+        must hold no table entries and no announcements."""
+        vip = self._hmux_vip(controller)
+        switch = controller.vip_location(vip.addr)
+        agent = controller.switch_agents[switch]
+        assert agent.hmux.vips()
+        controller.fail_switch(switch)
+        assert agent.hmux.vips() == []
+        assert len(agent.hmux.host_table) == 0
+        assert len(agent.hmux.tunnel_table) == 0
+        assert agent.hmux.ecmp_table.used_entries == 0
+        assert not controller.route_table.announced_by(agent.mux_ref)
+
+    def test_recover_starts_empty_and_rebalance_rehomes(self, controller):
+        vip = self._hmux_vip(controller)
+        switch = controller.vip_location(vip.addr)
+        controller.fail_switch(switch)
+        after_fail = controller.hmux_vip_count()
+        controller.recover_switch(switch)
+        assert switch not in controller.failed_switches
+        assert controller.switch_agents[switch].hmux.vips() == []
+        # Recovery is invisible to traffic; only the sticky rebalance
+        # moves VIPs back onto HMux capacity.
+        assert controller.hmux_vip_count() == after_fail
+        # No traffic has flowed, so measured demands are zero; hand the
+        # rebalance the configured demands instead.
+        controller.rebalance([v.demand() for v in controller.population])
+        assert controller.hmux_vip_count() > after_fail
+
+    def test_recover_unfailed_switch_rejected(self, controller):
+        with pytest.raises(ControllerError):
+            controller.recover_switch(0)
+
+    def test_recover_isolated_switch_rejected(self, controller, tiny_topology):
+        """A switch cut off from every core stays failed until the
+        links return (isolation == failure, S5.1)."""
+        tor = tiny_topology.tors()[0]
+        cut = [l.index for l in tiny_topology.links if l.src == tor]
+        promoted = set()
+        for link in cut:
+            promoted.update(controller.cut_link(link))
+        assert tor in promoted
+        with pytest.raises(ControllerError):
+            controller.recover_switch(tor)
+        for link in cut:
+            controller.restore_link(link)
+        controller.recover_switch(tor)
+        assert tor not in controller.failed_switches
+
+
+class TestSMuxScaleOut:
+    def test_add_smux_covers_every_vip(self, controller):
+        from repro.net.bgp import MuxRef
+
+        new = controller.add_smux()
+        assert len(new.vips()) == len(controller.population)
+        assert MuxRef.smux(new.smux_id) in controller.live_mux_refs()
+
+    def test_smux_ids_never_reused(self, controller):
+        controller.fail_smux(0)
+        new = controller.add_smux()
+        assert new.smux_id == 2
+        assert {s.smux_id for s in controller.smuxes} == {1, 2}
+
+    def test_fail_to_last_survivor_then_scale_back(self, controller):
+        """Drain the SMux fleet to one instance, then stand a new one
+        up: service continues throughout and the newcomer takes
+        traffic."""
+        vip = next(
+            v for v in controller.population
+            if controller.vip_location(v.addr) is not None
+        )
+        controller.fail_switch(controller.vip_location(vip.addr))
+        controller.fail_smux(0)
+        delivered, mux = controller.forward(client_packet(vip.addr, 3))
+        assert mux.kind is MuxKind.SMUX
+        assert delivered.flow.dst_ip in {d.addr for d in vip.dips}
+        new = controller.add_smux()
+        controller.fail_smux(1)
+        delivered, mux = controller.forward(client_packet(vip.addr, 3))
+        assert mux.ident == new.smux_id
+        assert delivered.flow.dst_ip in {d.addr for d in vip.dips}
+
+
+class TestFailureEdgeCases:
+    def test_remove_vip_whose_host_switch_failed(self, controller):
+        from repro.net.addressing import Prefix
+
+        vip = next(
+            v for v in controller.population
+            if controller.vip_location(v.addr) is not None
+        )
+        controller.fail_switch(controller.vip_location(vip.addr))
+        controller.remove_vip(vip.addr)
+        with pytest.raises(ControllerError):
+            controller.record(vip.addr)
+        for smux in controller.smuxes:
+            assert not smux.has_vip(vip.addr)
+        assert not controller.route_table.announcers(Prefix.host(vip.addr))
+
+    def test_reap_races_manual_remove(self, controller):
+        """The health feed marks a DIP dead, but an operator removes it
+        before the reaper runs: the reaper must not double-remove."""
+        vip = next(
+            v for v in controller.population
+            if len(controller.record(v.addr).dips) >= 2
+        )
+        victim = controller.record(vip.addr).dips[0]
+        controller.host_agents[victim.server_id].set_health(
+            victim.addr, False
+        )
+        controller.remove_dip(vip.addr, victim.addr)
+        reaped = controller.reap_failed_dips()
+        assert victim.addr not in reaped
+        assert victim.addr not in controller.record(vip.addr).dip_addrs()
+
+    def test_reap_removes_flapped_dip(self, controller):
+        vip = next(
+            v for v in controller.population
+            if len(controller.record(v.addr).dips) >= 2
+        )
+        victim = controller.record(vip.addr).dips[0]
+        controller.host_agents[victim.server_id].set_health(
+            victim.addr, False
+        )
+        assert victim.addr in controller.reap_failed_dips()
+        assert victim.addr not in controller.record(vip.addr).dip_addrs()
+        assert controller.reap_failed_dips() == []
+
+
+class TestPlanExecutionGuard:
+    def test_plan_step_targeting_failed_switch_is_skipped(
+        self, controller, tiny_topology
+    ):
+        """A switch that dies between planning and execution must not
+        crash the updater: its steps are skipped and the VIPs stay on
+        the SMux backstop."""
+        from repro.core.assignment import GreedyAssigner
+
+        new = GreedyAssigner(
+            tiny_topology, AssignmentConfig(seed=7)
+        ).assign([v.demand() for v in controller.population])
+        target = next(iter(new.vip_to_switch.values()))
+        controller.fail_switch(target)
+        controller.apply_assignment(new)
+        assert controller.programming_stats.skipped_dead_switch >= 1
+        for vip in controller.population:
+            if new.vip_to_switch.get(vip.vip_id) == target:
+                assert controller.vip_location(vip.addr) is None
+                assert controller.route_table.resolve(
+                    vip.addr
+                ).kind is MuxKind.SMUX
+
+
 class TestReassignment:
     def test_apply_assignment_migrates(self, controller, tiny_topology):
         from repro.core.assignment import GreedyAssigner

@@ -29,6 +29,48 @@ def packet(i=0, vip=VIP, port=80):
     return make_tcp_packet(CLIENT + i, vip, 1000 + i, port)
 
 
+class TestEvolvedLayout:
+    """`has_evolved_layout` tracks whether a VIP's ECMP group absorbed
+    resilient DIP removals since its last fresh program — the signal
+    the chaos flow-affinity tracker uses to mark non-transferable
+    provenance."""
+
+    def test_fresh_program_is_not_evolved(self, hmux):
+        hmux.program_vip(VIP, DIPS)
+        assert not hmux.has_evolved_layout(VIP)
+
+    def test_remove_dip_marks_evolved(self, hmux):
+        hmux.program_vip(VIP, DIPS)
+        hmux.remove_dip(VIP, DIPS[0])
+        assert hmux.has_evolved_layout(VIP)
+
+    def test_fresh_reprogram_clears_evolved(self, hmux):
+        hmux.program_vip(VIP, DIPS)
+        hmux.remove_dip(VIP, DIPS[0])
+        hmux.remove_vip(VIP)
+        hmux.program_vip(VIP, DIPS[1:])
+        assert not hmux.has_evolved_layout(VIP)
+
+    def test_remove_vip_clears_evolved(self, hmux):
+        hmux.program_vip(VIP, DIPS)
+        hmux.remove_dip(VIP, DIPS[0])
+        hmux.remove_vip(VIP)
+        assert not hmux.has_evolved_layout(VIP)
+
+    def test_reset_clears_evolved(self, hmux):
+        hmux.program_vip(VIP, DIPS)
+        hmux.remove_dip(VIP, DIPS[0])
+        hmux.reset()
+        assert not hmux.has_evolved_layout(VIP)
+
+    def test_tracked_per_vip(self, hmux):
+        hmux.program_vip(VIP, DIPS)
+        hmux.program_vip(VIP2, DIPS)
+        hmux.remove_dip(VIP, DIPS[0])
+        assert hmux.has_evolved_layout(VIP)
+        assert not hmux.has_evolved_layout(VIP2)
+
+
 class TestProgramming:
     def test_program_and_process(self, hmux):
         hmux.program_vip(VIP, DIPS)

@@ -80,17 +80,32 @@ class DuetControllerMachine(RuleBasedStateMachine):
 
     @rule(index=st.integers(min_value=0, max_value=50))
     def pin_and_check_flow(self, index):
-        """A previously seen flow keeps its DIP unless the DIP is gone."""
+        """A previously seen flow keeps its DIP while its serving mux and
+        DIP set are stable.
+
+        The strict claim holds only when the flow stays on the same mux
+        and no DIP was added since the pin: a DIP addition rebuilds the
+        tables (resilient hashing cannot absorb additions, S5.2), and a
+        mux change can land the flow on a fresh layout that never saw
+        the resilient-removal history protecting it (the chaos tracker
+        in repro.chaos.invariants models the full matrix).
+        """
         vips = self._live_vips()
         if not vips:
             return
         vip = vips[index % len(vips)]
-        delivered, _ = self.controller.forward(self._packet(vip.addr, index))
+        delivered, mux = self.controller.forward(
+            self._packet(vip.addr, index)
+        )
         key = (vip.addr, index)
-        dips_now = {d.addr for d in self.controller.record(vip.addr).dips}
-        if key in self.pinned and self.pinned[key] in dips_now:
-            assert delivered.flow.dst_ip == self.pinned[key]
-        self.pinned[key] = delivered.flow.dst_ip
+        dips_now = frozenset(
+            d.addr for d in self.controller.record(vip.addr).dips
+        )
+        if key in self.pinned:
+            dip, pin_mux, pin_dips = self.pinned[key]
+            if mux == pin_mux and dip in dips_now and not dips_now - pin_dips:
+                assert delivered.flow.dst_ip == dip
+        self.pinned[key] = (delivered.flow.dst_ip, mux, dips_now)
 
     @rule(which=st.integers(min_value=0, max_value=100))
     def fail_a_switch(self, which):

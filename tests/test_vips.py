@@ -104,6 +104,64 @@ class TestViews:
             VipPopulation(tiny_topology, vips + [vips[0]])
 
 
+class TestMutation:
+    """VIP lifecycle on the population itself (the controller's add/
+    remove path goes through these)."""
+
+    def _new_vip(self, topology, addr=0x0A0F0042):
+        from repro.workload.vips import Dip, Vip
+
+        return Vip(
+            vip_id=4242,
+            addr=addr,
+            dips=(Dip(addr=0x640F0042, server_id=0,
+                      tor=topology.server_tor(0)),),
+            traffic_bps=1e6,
+            ingress_racks=((topology.tors()[0], 0.7),),
+            internet_fraction=0.3,
+        )
+
+    def test_add(self, tiny_topology, fresh_tiny_population):
+        pop = fresh_tiny_population
+        vip = self._new_vip(tiny_topology)
+        before = len(pop)
+        pop.add(vip)
+        assert len(pop) == before + 1
+        assert pop.has_addr(vip.addr)
+        assert pop.by_addr(vip.addr) is vip
+        assert vip in list(pop)
+
+    def test_add_duplicate_rejected(self, tiny_topology, fresh_tiny_population):
+        pop = fresh_tiny_population
+        vip = self._new_vip(tiny_topology, addr=pop.vips[0].addr)
+        with pytest.raises(ValueError):
+            pop.add(vip)
+        assert len(pop) == 20
+
+    def test_remove_returns_the_vip(self, fresh_tiny_population):
+        pop = fresh_tiny_population
+        vip = pop.vips[3]
+        removed = pop.remove(vip.addr)
+        assert removed is vip
+        assert not pop.has_addr(vip.addr)
+        assert len(pop) == 19
+        assert vip not in list(pop)
+
+    def test_remove_unknown_rejected(self, fresh_tiny_population):
+        with pytest.raises(KeyError):
+            fresh_tiny_population.remove(0x7F000001)
+
+    def test_add_after_remove_round_trips(
+        self, tiny_topology, fresh_tiny_population
+    ):
+        pop = fresh_tiny_population
+        addr = pop.vips[0].addr
+        pop.remove(addr)
+        vip = self._new_vip(tiny_topology, addr=addr)
+        pop.add(vip)
+        assert pop.by_addr(addr) is vip
+
+
 class TestAddressHelpers:
     def test_switch_loopback_distinct(self):
         assert switch_loopback(0) != switch_loopback(1)
