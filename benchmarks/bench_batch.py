@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""Batch-vs-scalar dataplane microbenchmark (ISSUE 2 satellite).
+
+Times the same randomized packet workload through the scalar
+``HMux.process`` / ``SMux.process`` loops and through the batch engines,
+checks the results agree, and writes the throughput numbers to
+``BENCH_batch.json``.  CI runs this on every PR with
+``--min-speedup 10`` (the ISSUE 2 acceptance bar) so a regression that
+de-vectorizes the fast path fails the build.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_batch.py \
+        [--packets 65536] [--repeats 5] [--out BENCH_batch.json] \
+        [--min-speedup 10]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+import time
+from typing import Callable, Dict, List
+
+from repro.dataplane import BatchHMux, BatchSMux, FlowBatch, HMux, SMux
+from repro.dataplane.packet import FiveTuple, PROTO_TCP, Packet
+
+SWITCH_IP = 0xAC10_0001
+SMUX_IP = 0x1E00_0001
+VIP_BASE = 0x0A00_0001
+DIP_BASE = 0x6400_0001
+
+
+def make_packets(n: int, n_vips: int, seed: int) -> List[Packet]:
+    rng = random.Random(seed)
+    return [
+        Packet(FiveTuple(
+            src_ip=0x0800_0000 + rng.randrange(1 << 20),
+            dst_ip=VIP_BASE + rng.randrange(n_vips),
+            src_port=rng.randrange(1024, 65536),
+            dst_port=80,
+            protocol=PROTO_TCP,
+        ))
+        for _ in range(n)
+    ]
+
+
+def best_pps(fn: Callable[[], object], n_packets: int, repeats: int) -> float:
+    """Packets/sec of the fastest of ``repeats`` timed runs (the usual
+    min-time estimator: least scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return n_packets / best
+
+
+def bench_hmux(packets: List[Packet], repeats: int) -> Dict[str, float]:
+    scalar_mux = HMux(SWITCH_IP)
+    batch_mux = HMux(SWITCH_IP)
+    for mux in (scalar_mux, batch_mux):
+        for k in range(8):
+            mux.program_vip(
+                VIP_BASE + k, [DIP_BASE + 64 * k + j for j in range(32)],
+            )
+    engine = BatchHMux(batch_mux)
+    batch = FlowBatch.from_packets(packets)
+
+    scalar_pps = best_pps(
+        lambda: [scalar_mux.process(p) for p in packets],
+        len(packets), repeats,
+    )
+    batch_pps = best_pps(lambda: engine.process(batch), len(packets), repeats)
+
+    # Equivalence spot check rides along with every benchmark run.
+    result = engine.process(batch)
+    for i in (0, len(packets) // 2, len(packets) - 1):
+        assert result.result_at(i) == scalar_mux.process(packets[i])
+    return {
+        "scalar_pps": scalar_pps,
+        "batch_pps": batch_pps,
+        "speedup": batch_pps / scalar_pps,
+    }
+
+
+def bench_smux(packets: List[Packet], repeats: int) -> Dict[str, float]:
+    scalar_mux = SMux(0, SMUX_IP)
+    batch_mux = SMux(1, SMUX_IP)
+    for mux in (scalar_mux, batch_mux):
+        for k in range(8):
+            mux.set_vip(
+                VIP_BASE + k, [DIP_BASE + 64 * k + j for j in range(32)],
+            )
+    engine = BatchSMux(batch_mux)
+    batch = FlowBatch.from_packets(packets)
+
+    scalar_pps = best_pps(
+        lambda: [scalar_mux.process(p) for p in packets],
+        len(packets), repeats,
+    )
+    # After the first pass both planes have every flow pinned, so the
+    # timed passes measure the steady state (prefilter + pin lookups).
+    batch_pps = best_pps(lambda: engine.process(batch), len(packets), repeats)
+
+    assert engine.process(batch).packets() == [
+        scalar_mux.process(p) for p in packets
+    ]
+    # Stateless mode shows the vectorized ceiling once connection
+    # affinity is turned off (probe replays don't need pins).
+    stateless = BatchSMux(SMux(2, SMUX_IP), pin_connections=False)
+    for k in range(8):
+        stateless.smux.set_vip(
+            VIP_BASE + k, [DIP_BASE + 64 * k + j for j in range(32)],
+        )
+    stateless_pps = best_pps(
+        lambda: stateless.process(batch), len(packets), repeats,
+    )
+    return {
+        "scalar_pps": scalar_pps,
+        "batch_pps": batch_pps,
+        "speedup": batch_pps / scalar_pps,
+        "stateless_batch_pps": stateless_pps,
+        "stateless_speedup": stateless_pps / scalar_pps,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--packets", type=int, default=65536)
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--out", default="BENCH_batch.json")
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="fail (exit 1) if the HMux batch speedup is below this",
+    )
+    args = parser.parse_args(argv)
+
+    packets = make_packets(args.packets, n_vips=8, seed=args.seed)
+    report = {
+        "n_packets": args.packets,
+        "repeats": args.repeats,
+        "hmux": bench_hmux(packets, args.repeats),
+        "smux": bench_smux(packets, args.repeats),
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    for plane in ("hmux", "smux"):
+        numbers = report[plane]
+        print(
+            f"{plane}: scalar {numbers['scalar_pps'] / 1e6:.2f} Mpps, "
+            f"batch {numbers['batch_pps'] / 1e6:.2f} Mpps "
+            f"({numbers['speedup']:.1f}x)"
+        )
+    print(f"wrote {args.out}")
+
+    if args.min_speedup is not None:
+        speedup = report["hmux"]["speedup"]
+        if speedup < args.min_speedup:
+            print(
+                f"FAIL: hmux batch speedup {speedup:.1f}x is below the "
+                f"required {args.min_speedup:.1f}x",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,7 @@ import random
 import pytest
 
 from repro.core.assignment import GreedyAssigner
+from repro.dataplane.batch import BatchHMux, BatchSMux, FlowBatch
 from repro.dataplane.hashing import ResilientHashTable, five_tuple_hash
 from repro.dataplane.hmux import HMux
 from repro.dataplane.packet import FiveTuple, PROTO_TCP, Packet, make_tcp_packet
@@ -84,6 +85,43 @@ def test_smux_pipeline_throughput(benchmark, packets):
     def run():
         for packet in packets:
             smux.process(packet)
+
+    benchmark(run)
+
+
+def test_batch_hmux_pipeline_throughput(benchmark, packets):
+    hmux = HMux(0xAC100001)
+    hmux.program_vip(0x0A000001, [0x64000001 + i for i in range(32)])
+    engine = BatchHMux(hmux)
+    batch = FlowBatch.from_packets(packets)
+    engine.process(batch)  # warm the layout cache
+
+    def run():
+        return engine.process(batch)
+
+    benchmark(run)
+
+
+def test_batch_smux_pipeline_throughput(benchmark, packets):
+    smux = SMux(0, 0x1E000001)
+    smux.set_vip(0x0A000001, [0x64000001 + i for i in range(32)])
+    # Stateless mode: measure the vectorized select path, not the
+    # per-flow pinning dictionary (bench_batch.py covers pinned mode).
+    engine = BatchSMux(smux, pin_connections=False)
+    batch = FlowBatch.from_packets(packets)
+    engine.process(batch)
+
+    def run():
+        return engine.process(batch)
+
+    benchmark(run)
+
+
+def test_five_tuple_hash_batch_throughput(benchmark, packets):
+    batch = FlowBatch.from_packets(packets)
+
+    def run():
+        return batch.hashes()
 
     benchmark(run)
 

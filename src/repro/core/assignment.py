@@ -154,13 +154,26 @@ class Assignment:
         )
 
 
+#: Past this many memoized load vectors the cache is dropped wholesale
+#: (greedy + refine on the paper's scale stay far below it; the cap only
+#: guards against unbounded growth under adversarial demand churn).
+_LOAD_CACHE_MAX = 65536
+
+
 class LoadCalculator:
     """Computes the sparse extra-utilization vector L_{i,s,v} (Table 1).
 
     Path-fraction vectors are cached per (src, dst) pair as parallel
     (link index, fraction) numpy arrays; the Internet ingress pattern
     (spread equally over core switches, S2) is shared by all VIPs and
-    cached per candidate switch.
+    cached per candidate switch.  Full load vectors are additionally
+    memoized per (demand, candidate switch): :class:`VipDemand` is
+    frozen and the router's failure set is fixed at construction, so a
+    vector never goes stale for the lifetime of one calculator.  The
+    greedy assigner probes every candidate switch per VIP and the
+    refinement passes re-probe the same pairs repeatedly, so this turns
+    the dominant cost from recompute into a dict hit.  Cached arrays
+    are returned write-protected; callers must not mutate them.
     """
 
     def __init__(
@@ -177,6 +190,11 @@ class LoadCalculator:
         self._pf_cache: Dict[Tuple[int, int], Tuple[np.ndarray, np.ndarray]] = {}
         self._internet_cache: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
         self._diffuse_cache: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        self._load_cache: Dict[
+            Tuple[VipDemand, int], Tuple[np.ndarray, np.ndarray]
+        ] = {}
+        self._load_hits = 0
+        self._load_misses = 0
         alive_cores = [
             c for c in topology.cores()
             if c not in self.router.failed_switches
@@ -240,15 +258,48 @@ class LoadCalculator:
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Sparse additional *utilization* on links if ``demand`` lands on
         ``switch_index``: (link indices, added utilization).  Indices may
-        repeat; callers accumulate.
+        repeat; callers accumulate.  The result is memoized per
+        (demand, switch) and returned as write-protected arrays — treat
+        them as read-only.
 
         Under failures, traffic sourced at dead racks has *disappeared*
         (S8.5) and DIPs on dead racks no longer receive a share (their
         flows re-spread over the survivors) — neither makes a placement
         infeasible.  Only a candidate unreachable from the live network
         (or a VIP with no surviving DIPs) raises
-        :class:`UnreachableError`.
+        :class:`UnreachableError` (never cached, so transient callers
+        that catch it see consistent behavior on retry).
         """
+        key = (demand, switch_index)
+        cached = self._load_cache.get(key)
+        if cached is not None:
+            self._load_hits += 1
+            return cached
+        idx, util = self._compute_load_vector(demand, switch_index)
+        idx.setflags(write=False)
+        util.setflags(write=False)
+        if len(self._load_cache) >= _LOAD_CACHE_MAX:
+            self._load_cache.clear()
+        self._load_cache[key] = (idx, util)
+        self._load_misses += 1
+        return idx, util
+
+    def invalidate(self) -> None:
+        """Drop the memoized load vectors (path-fraction caches stay:
+        they depend only on the topology and the frozen failure set)."""
+        self._load_cache.clear()
+
+    def cache_info(self) -> Dict[str, int]:
+        """Hit/miss/size counters for the load-vector memo."""
+        return {
+            "hits": self._load_hits,
+            "misses": self._load_misses,
+            "size": len(self._load_cache),
+        }
+
+    def _compute_load_vector(
+        self, demand: VipDemand, switch_index: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
         failed = self.router.failed_switches
         parts_idx: List[np.ndarray] = []
         parts_val: List[np.ndarray] = []

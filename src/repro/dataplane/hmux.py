@@ -135,6 +135,16 @@ class HMux:
         self._vips: Dict[int, _VipState] = {}
         self._port_vips: Dict[Tuple[int, int], _VipState] = {}
         self._evolved_vips: set = set()
+        self._layout_version = 0
+
+    @property
+    def layout_version(self) -> int:
+        """Monotonic counter bumped by every programming operation that
+        changes what the forwarding pipeline would do (VIP add/remove,
+        port-rule add/remove, resilient DIP removal, reset).  The batch
+        engine (:mod:`repro.dataplane.batch`) keys its per-VIP layout
+        caches on this: unchanged version == identical forwarding."""
+        return self._layout_version
 
     def reset(self) -> None:
         """Power-cycle the switch: every table entry and counter is gone.
@@ -152,6 +162,7 @@ class HMux:
         self._vips.clear()
         self._port_vips.clear()
         self._evolved_vips.clear()
+        self._layout_version += 1
 
     # -- programming -----------------------------------------------------------
 
@@ -210,6 +221,7 @@ class HMux:
             is_tip=is_tip,
         )
         self._evolved_vips.discard(vip)
+        self._layout_version += 1
 
     def program_vip_port(
         self,
@@ -251,6 +263,7 @@ class HMux:
             ),
             port=port,
         )
+        self._layout_version += 1
 
     def remove_vip(self, vip: int) -> None:
         """Uninstall a VIP, freeing all three tables' entries."""
@@ -258,12 +271,14 @@ class HMux:
         if state is None:
             raise HMuxError(f"VIP {format_ip(vip)} not programmed")
         self._evolved_vips.discard(vip)
+        self._layout_version += 1
         self._teardown(state, from_acl=False)
 
     def remove_vip_port(self, vip: int, port: int) -> None:
         state = self._port_vips.pop((vip, port), None)
         if state is None:
             raise HMuxError(f"VIP {format_ip(vip)}:{port} not programmed")
+        self._layout_version += 1
         self._teardown(state, from_acl=True)
 
     def _teardown(self, state: _VipState, from_acl: bool) -> None:
@@ -289,6 +304,7 @@ class HMux:
         rewritten = state.hash_table.remove_member(victim)
         self.tunnel_table.free_block(victim, 1)
         self._evolved_vips.add(vip)
+        self._layout_version += 1
         return rewritten
 
     def add_dip(self, vip: int, encap_ip: int) -> None:
@@ -360,6 +376,36 @@ class HMux:
 
     def vips(self) -> List[int]:
         return sorted(self._vips)
+
+    def is_tip(self, vip: int) -> bool:
+        """Whether this programmed address is a TIP (Figure 7 indirection)."""
+        return self._require_vip(vip).is_tip
+
+    def port_rules(self) -> List[Tuple[int, int]]:
+        """(vip, port) keys of the installed ACL rules."""
+        return sorted(self._port_vips)
+
+    def slot_targets(self, vip: int) -> List[int]:
+        """Per-ECMP-slot encap target of a VIP: the fully resolved
+        slot -> tunnel entry -> encap IP composition.  Element ``s`` is
+        where a flow hashing to slot ``s`` is tunneled — the flat layout
+        the batch engine caches and the differential tests compare
+        slot-for-slot against :class:`ResilientHashTable`."""
+        state = self._require_vip(vip)
+        return [
+            self.tunnel_table.get(index)
+            for index in state.hash_table.slots()
+        ]
+
+    def port_slot_targets(self, vip: int, port: int) -> List[int]:
+        """Per-slot encap target of a port-based (ACL) entry."""
+        state = self._port_vips.get((vip, port))
+        if state is None:
+            raise HMuxError(f"VIP {format_ip(vip)}:{port} not programmed")
+        return [
+            self.tunnel_table.get(index)
+            for index in state.hash_table.slots()
+        ]
 
     def dips_of(self, vip: int) -> List[int]:
         """Current encap targets of a VIP (post-removals)."""

@@ -115,6 +115,22 @@ class SMux:
         self._vips: Dict[int, _VipMapping] = {}
         self._port_vips: Dict[Tuple[int, int], _VipMapping] = {}
         self._connections: Dict[FiveTuple, int] = {}
+        self._layout_version = 0
+        self._conn_version = 0
+
+    @property
+    def layout_version(self) -> int:
+        """Monotonic counter bumped by every VIP-map change (set/remove,
+        port pools included).  The batch engine keys its cached slot
+        layouts on this."""
+        return self._layout_version
+
+    @property
+    def conn_version(self) -> int:
+        """Monotonic counter bumped whenever the connection table
+        changes (new pin, map-change cleanup, idle expiry) — lets the
+        batch engine cache its pinned-flow prefilter."""
+        return self._conn_version
 
     # -- VIP map management (pushed by the controller) ---------------------------
 
@@ -145,6 +161,7 @@ class SMux:
             self.hash_seed,
             n_slots=n_slots,
         )
+        self._layout_version += 1
         survivors = set(dips)
         stale = [
             flow for flow, dip in self._connections.items()
@@ -152,6 +169,8 @@ class SMux:
         ]
         for flow in stale:
             del self._connections[flow]
+        if stale:
+            self._conn_version += 1
 
     def set_vip_port(
         self,
@@ -176,6 +195,7 @@ class SMux:
             self.hash_seed,
             n_slots=n_slots,
         )
+        self._layout_version += 1
         survivors = set(dips)
         stale = [
             flow for flow, dip in self._connections.items()
@@ -184,17 +204,22 @@ class SMux:
         ]
         for flow in stale:
             del self._connections[flow]
+        if stale:
+            self._conn_version += 1
 
     def remove_vip_port(self, vip: int, port: int) -> None:
         if (vip, port) not in self._port_vips:
             raise SMuxError(f"VIP {format_ip(vip)}:{port} not installed")
         del self._port_vips[(vip, port)]
+        self._layout_version += 1
         stale = [
             f for f in self._connections
             if f.dst_ip == vip and f.dst_port == port
         ]
         for flow in stale:
             del self._connections[flow]
+        if stale:
+            self._conn_version += 1
 
     def remove_vip(self, vip: int) -> None:
         if vip not in self._vips:
@@ -202,9 +227,12 @@ class SMux:
         del self._vips[vip]
         for key in [k for k in self._port_vips if k[0] == vip]:
             del self._port_vips[key]
+        self._layout_version += 1
         stale = [f for f in self._connections if f.dst_ip == vip]
         for flow in stale:
             del self._connections[flow]
+        if stale:
+            self._conn_version += 1
 
     def has_vip(self, vip: int) -> bool:
         return vip in self._vips
@@ -221,6 +249,22 @@ class SMux:
     def port_vips(self) -> List[Tuple[int, int]]:
         """(vip, port) keys of the installed port-specific pools."""
         return sorted(self._port_vips)
+
+    def slot_dips(self, vip: int) -> List[int]:
+        """Per-hash-slot DIP of a VIP: element ``s`` is the DIP a fresh
+        (unpinned) flow hashing to slot ``s`` selects.  This is the flat
+        layout the batch engine caches."""
+        mapping = self._vips.get(vip)
+        if mapping is None:
+            raise SMuxError(f"VIP {format_ip(vip)} not installed")
+        return [mapping.dips[m] for m in mapping.table.slots()]
+
+    def port_slot_dips(self, vip: int, port: int) -> List[int]:
+        """Per-slot DIP of a port-specific pool."""
+        mapping = self._port_vips.get((vip, port))
+        if mapping is None:
+            raise SMuxError(f"VIP {format_ip(vip)}:{port} not installed")
+        return [mapping.dips[m] for m in mapping.table.slots()]
 
     # -- data plane ----------------------------------------------------------------
 
@@ -241,6 +285,7 @@ class SMux:
         if dip is None:
             dip = mapping.select(packet.flow, self.hash_seed)
             self._connections[packet.flow] = dip
+            self._conn_version += 1
             self.counters.connections += 1
         self.counters.count(packet.size_bytes)
         return packet.encapsulate(self.smux_ip, dip)
@@ -248,10 +293,29 @@ class SMux:
     def connection_count(self) -> int:
         return len(self._connections)
 
+    def connections(self) -> List[FiveTuple]:
+        """The flows currently pinned in the connection table."""
+        return list(self._connections)
+
     def pinned_dip(self, flow: FiveTuple) -> Optional[int]:
         """The DIP a live connection is pinned to, if any."""
         return self._connections.get(flow)
 
+    def pin_connection(self, flow: FiveTuple, dip: int) -> bool:
+        """Record a new connection pin — the exact state transition the
+        scalar path performs on a flow's first packet, exposed so the
+        batch engine can maintain identical connection state.  Returns
+        False (and changes nothing) when the flow is already pinned."""
+        if flow in self._connections:
+            return False
+        self._connections[flow] = dip
+        self._conn_version += 1
+        self.counters.connections += 1
+        return True
+
     def expire_connection(self, flow: FiveTuple) -> bool:
         """Remove one connection-table entry (idle timeout)."""
-        return self._connections.pop(flow, None) is not None
+        expired = self._connections.pop(flow, None) is not None
+        if expired:
+            self._conn_version += 1
+        return expired

@@ -13,7 +13,10 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.dataplane.hashing import five_tuple_hash
+import numpy as np
+
+from repro.dataplane.hashing import five_tuple_hash, five_tuple_hash_batch
+from repro.dataplane.packet import PROTO_ICMP
 from repro.net.addressing import Prefix
 from repro.net.bgp import BgpTimings, MuxKind, MuxRef, RouteResolutionError, VipRouteTable
 from repro.sim.control import ControlPlaneModel
@@ -80,6 +83,11 @@ class _MuxFleet:
         return station.latency_sample(now_s, rng)
 
 
+#: Hash seed the probe path uses (distinct from the mux data-plane seed
+#: so probe spreading is not polarized with the mux ECMP layer).
+_PROBE_HASH_SEED = 0xECC
+
+
 def _run_probes(
     targets: Sequence[Tuple[str, int]],
     route_table: VipRouteTable,
@@ -90,16 +98,74 @@ def _run_probes(
     end_s: float,
     interval_s: float = 0.003,
     seed: int = 0,
+    engine: str = "batch",
 ) -> Dict[str, PingSeries]:
     """Drive probes to all targets through the (shared, mutating) route
     table in one merged time order, so every series sees the same
-    control-plane evolution."""
+    control-plane evolution.
+
+    ``engine`` selects how probe flows are produced and hashed:
+    ``"scalar"`` materializes one packet at a time and hashes it with
+    the scalar :func:`five_tuple_hash`; ``"batch"`` (the default)
+    precomputes each stream's probe times and flow hashes in one
+    vectorized pass and never builds packet objects.  Both engines make
+    identical RNG draws in identical order, so their results are
+    bit-for-bit the same — the golden figure tests assert this.
+    """
+    if engine not in ("scalar", "batch"):
+        raise ValueError(f"unknown probe engine: {engine!r}")
     series = {label: PingSeries(vip, label) for label, vip in targets}
     rngs = {label: random.Random(seed ^ vip) for label, vip in targets}
     probers = [
         (label, vip, PingProbe(vip, interval_s, seed=seed ^ (vip << 1)))
         for label, vip in targets
     ]
+
+    def probe_once(label: str, vip: int, t: float, flow_hash: int) -> None:
+        control.advance(t)
+        rng = rngs[label]
+        try:
+            mux = route_table.resolve(vip, flow_hash)
+        except RouteResolutionError:
+            series[label].add(ProbeResult(t, None, "none"))
+            return
+        added = fleet.latency(mux, t, rng)
+        if added is None:
+            series[label].add(ProbeResult(t, None, mux.kind.value))
+            return
+        drop_p = fleet.stations[mux].drop_probability_at(t)
+        if drop_p > 0.0 and rng.random() < drop_p:
+            series[label].add(ProbeResult(t, None, mux.kind.value))
+            return
+        rtt = TESTBED_NETWORK_RTT.sample(rng) + added
+        series[label].add(ProbeResult(t, rtt, mux.kind.value))
+
+    if engine == "batch":
+        # Resolve each stream's probe times and five-tuple hashes in one
+        # vectorized pass, then replay them in the same lockstep order
+        # the scalar loop would use (the route table mutates over time,
+        # so per-probe ordering is part of the semantics).
+        batched = []
+        for label, vip, prober in probers:
+            times, src_ports = prober.probe_fields(start_s, end_s)
+            n = len(times)
+            hashes = five_tuple_hash_batch(
+                np.full(n, prober.client_ip, np.uint64),
+                np.full(n, vip, np.uint64),
+                src_ports,
+                np.full(n, 7, np.uint64),         # echo port
+                np.full(n, PROTO_ICMP, np.uint64),
+                _PROBE_HASH_SEED,
+            )
+            batched.append((label, vip, times, hashes))
+        n_steps = max((len(t) for _, _, t, _ in batched), default=0)
+        for step in range(n_steps):
+            for label, vip, times, hashes in batched:
+                if step < len(times):
+                    probe_once(label, vip, float(times[step]),
+                               int(hashes[step]))
+        return series
+
     streams = [
         (label, vip, iter(prober.generate(start_s, end_s)))
         for label, vip, prober in probers
@@ -112,24 +178,10 @@ def _run_probes(
             if timed is None:
                 continue
             alive.append((label, vip, stream))
-            control.advance(timed.time_s)
-            rng = rngs[label]
-            flow_hash = five_tuple_hash(timed.packet.flow, 0xECC)
-            try:
-                mux = route_table.resolve(vip, flow_hash)
-            except RouteResolutionError:
-                series[label].add(ProbeResult(timed.time_s, None, "none"))
-                continue
-            added = fleet.latency(mux, timed.time_s, rng)
-            if added is None:
-                series[label].add(ProbeResult(timed.time_s, None, mux.kind.value))
-                continue
-            drop_p = fleet.stations[mux].drop_probability_at(timed.time_s)
-            if drop_p > 0.0 and rng.random() < drop_p:
-                series[label].add(ProbeResult(timed.time_s, None, mux.kind.value))
-                continue
-            rtt = TESTBED_NETWORK_RTT.sample(rng) + added
-            series[label].add(ProbeResult(timed.time_s, rtt, mux.kind.value))
+            probe_once(
+                label, vip, timed.time_s,
+                five_tuple_hash(timed.packet.flow, _PROBE_HASH_SEED),
+            )
         streams = alive
     return series
 
@@ -152,6 +204,7 @@ class HMuxCapacityConfig:
     hmux_link_gbps: float = 10.0
     probe_interval_s: float = 0.003
     seed: int = 0
+    engine: str = "batch"  # probe fast path: "batch" or "scalar"
 
 
 def run_hmux_capacity(config: HMuxCapacityConfig = HMuxCapacityConfig()) -> ScenarioResult:
@@ -193,6 +246,7 @@ def run_hmux_capacity(config: HMuxCapacityConfig = HMuxCapacityConfig()) -> Scen
         [("unloaded-vip", vip)], route_table, fleet, control,
         start_s=0.0, end_s=t3,
         interval_s=config.probe_interval_s, seed=config.seed,
+        engine=config.engine,
     )
     return ScenarioResult(
         series=series,
@@ -215,6 +269,7 @@ class FailoverConfig:
     probe_interval_s: float = 0.003
     timings: BgpTimings = BgpTimings()
     seed: int = 0
+    engine: str = "batch"  # probe fast path: "batch" or "scalar"
 
 
 def run_failover(config: FailoverConfig = FailoverConfig()) -> ScenarioResult:
@@ -261,6 +316,7 @@ def run_failover(config: FailoverConfig = FailoverConfig()) -> ScenarioResult:
         route_table, fleet, control,
         start_s=0.0, end_s=end,
         interval_s=config.probe_interval_s, seed=config.seed,
+        engine=config.engine,
     )
     return ScenarioResult(
         series=series,
@@ -283,6 +339,7 @@ class MigrationConfig:
     probe_interval_s: float = 0.003
     timings: BgpTimings = BgpTimings()
     seed: int = 0
+    engine: str = "batch"  # probe fast path: "batch" or "scalar"
 
 
 def run_migration(config: MigrationConfig = MigrationConfig()) -> ScenarioResult:
@@ -334,6 +391,7 @@ def run_migration(config: MigrationConfig = MigrationConfig()) -> ScenarioResult
         route_table, fleet, control,
         start_s=0.0, end_s=end,
         interval_s=config.probe_interval_s, seed=config.seed,
+        engine=config.engine,
     )
     return ScenarioResult(
         series=series,
@@ -358,6 +416,7 @@ class SmuxFailureConfig:
     probe_interval_s: float = 0.003
     timings: BgpTimings = BgpTimings()
     seed: int = 0
+    engine: str = "batch"  # probe fast path: "batch" or "scalar"
 
 
 def run_smux_failure(config: SmuxFailureConfig = SmuxFailureConfig()) -> ScenarioResult:
@@ -396,6 +455,7 @@ def run_smux_failure(config: SmuxFailureConfig = SmuxFailureConfig()) -> Scenari
         route_table, fleet, control,
         start_s=0.0, end_s=end,
         interval_s=config.probe_interval_s, seed=config.seed,
+        engine=config.engine,
     )
     return ScenarioResult(
         series=series,

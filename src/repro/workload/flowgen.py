@@ -11,6 +11,8 @@ import random
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.dataplane.packet import (
     DEFAULT_PACKET_BYTES,
     FiveTuple,
@@ -124,3 +126,25 @@ class PingProbe:
             )
             yield TimedPacket(t, Packet(flow, size_bytes=64))
             n += 1
+
+    def probe_fields(
+        self, start_s: float, end_s: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """The batched counterpart of :meth:`generate`: (times, source
+        ports) of every probe in ``[start, end)`` as arrays, in the same
+        order and with exactly the same values — the batch scenario
+        engine hashes these wholesale instead of materializing packets.
+        """
+        if end_s <= start_s:
+            return np.empty(0), np.empty(0, np.uint64)
+        count = max(0, int(np.ceil((end_s - start_s) / self.interval_s)))
+        # Float rounding can put the formula off by one probe either
+        # way; nudge until the count matches generate()'s loop exactly.
+        while start_s + count * self.interval_s < end_s:
+            count += 1
+        while count > 0 and start_s + (count - 1) * self.interval_s >= end_s:
+            count -= 1
+        n = np.arange(count)
+        times = start_s + n * self.interval_s
+        src_ports = ((self._seq_port + n) % 65536).astype(np.uint64)
+        return times, src_ports

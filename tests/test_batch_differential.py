@@ -1,0 +1,450 @@
+"""Differential harness: the batched dataplane vs the scalar muxes.
+
+Every test here follows the twin-mux pattern: two mux instances receive
+*identical* programming, one processes packets through the scalar
+``process`` path and the other through the batch engine, and the results
+must be byte-identical — same actions, same output packets, same
+selected targets, same counters, same connection tables.  Randomized
+inputs come from a fixed-seed generator (the deterministic bulk sweep,
+>1000 packets) and from Hypothesis (randomized topologies, VIP
+populations, and failure states).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dataplane import (
+    BatchHMux,
+    BatchSMux,
+    FlowBatch,
+    HMux,
+    SMux,
+)
+from repro.dataplane.packet import (
+    FiveTuple,
+    PROTO_TCP,
+    PROTO_UDP,
+    Packet,
+)
+from repro.net.topology import SwitchTableSpec
+
+SWITCH_IP = 0x0A00_0001
+SMUX_IP = 0x0A00_0101
+
+#: Base addresses for generated VIPs / DIPs / TIPs (disjoint ranges so a
+#: generated dst_ip never collides with a DIP address).
+VIP_BASE = 0x64_0000_00
+DIP_BASE = 0x0A_0001_00
+TIP_BASE = 0x0A_00FF_00
+
+#: Large-enough tables that programming never hits capacity errors.
+BIG_TABLES = SwitchTableSpec(
+    host_table=4096, ecmp_table=16384, tunnel_table=16384,
+)
+
+# Programming ops are (method name, args) pairs applied verbatim to both
+# twins, so any drift between them is a test bug, not a mux bug.
+Op = Tuple[str, tuple]
+
+
+def make_twin_hmuxes(ops: Sequence[Op], seed: int = 0) -> Tuple[HMux, HMux]:
+    twins = (
+        HMux(SWITCH_IP, tables=BIG_TABLES, hash_seed=seed),
+        HMux(SWITCH_IP, tables=BIG_TABLES, hash_seed=seed),
+    )
+    for mux in twins:
+        for method, args in ops:
+            getattr(mux, method)(*args)
+    return twins
+
+
+def make_twin_smuxes(ops: Sequence[Op], seed: int = 0) -> Tuple[SMux, SMux]:
+    twins = (
+        SMux(0, SMUX_IP, hash_seed=seed),
+        SMux(1, SMUX_IP, hash_seed=seed),
+    )
+    for mux in twins:
+        for method, args in ops:
+            getattr(mux, method)(*args)
+    return twins
+
+
+def assert_hmux_equivalent(
+    scalar: HMux, batched: HMux, packets: Sequence[Packet],
+    engine: Optional[BatchHMux] = None,
+) -> None:
+    """Process ``packets`` scalar on one twin, batched on the other, and
+    demand identical results and identical counter evolution."""
+    expected = [scalar.process(p) for p in packets]
+    engine = engine if engine is not None else BatchHMux(batched)
+    got = engine.process(FlowBatch.from_packets(packets))
+    assert len(got) == len(expected)
+    for i, want in enumerate(expected):
+        have = got.result_at(i)
+        assert have.action is want.action, f"row {i}: {have} != {want}"
+        assert have.packet == want.packet, f"row {i}: {have} != {want}"
+        assert have.selected_ip == want.selected_ip, f"row {i}"
+    assert scalar.counters == batched.counters
+    # The array view must agree with the lifted results too.
+    for i, want in enumerate(expected):
+        target = int(got.target[i])
+        assert target == (want.selected_ip if want.selected_ip is not None
+                          else -1)
+
+
+def assert_smux_equivalent(
+    scalar: SMux, batched: SMux, packets: Sequence[Packet],
+    engine: Optional[BatchSMux] = None,
+) -> None:
+    expected = [scalar.process(p) for p in packets]
+    engine = engine if engine is not None else BatchSMux(batched)
+    got = engine.process(FlowBatch.from_packets(packets))
+    assert got.packets() == expected
+    assert scalar.counters == batched.counters
+    assert dict(
+        (f, scalar.pinned_dip(f)) for f in scalar.connections()
+    ) == dict(
+        (f, batched.pinned_dip(f)) for f in batched.connections()
+    )
+
+
+# ---------------------------------------------------------------------------
+# Deterministic bulk sweep: >1000 randomized packets over a rich layout
+# ---------------------------------------------------------------------------
+
+def build_rich_hmux_twins() -> Tuple[HMux, HMux]:
+    """Twins with a layout exercising every pipeline feature at once:
+    plain VIPs, a WCMP VIP, virtualized-cluster repetition, TIPs,
+    port-based ACL rules (one shadowing a host-table VIP), and resilient
+    DIP removals on several of them."""
+    twins = (
+        HMux(SWITCH_IP, tables=BIG_TABLES, hash_seed=7),
+        HMux(SWITCH_IP, tables=BIG_TABLES, hash_seed=7),
+    )
+    for mux in twins:
+        for k in range(10):
+            dips = [DIP_BASE + 16 * k + j for j in range(2 + (k % 8))]
+            mux.program_vip(VIP_BASE + k, dips)
+        mux.program_vip(
+            VIP_BASE + 10,
+            [DIP_BASE + 0xA0, DIP_BASE + 0xA1, DIP_BASE + 0xA2],
+            [3.0, 2.0, 1.0],
+        )
+        mux.program_vip(
+            VIP_BASE + 11,
+            [DIP_BASE + 0xB0, DIP_BASE + 0xB0, DIP_BASE + 0xB1],
+        )
+        mux.program_vip(
+            TIP_BASE + 0, [DIP_BASE + 0xC0 + j for j in range(4)],
+            is_tip=True,
+        )
+        mux.program_vip(
+            TIP_BASE + 1, [DIP_BASE + 0xD0 + j for j in range(6)],
+            is_tip=True,
+        )
+        # Port rules; VIP_BASE+1:8080 shadows the host-table VIP.
+        mux.program_vip_port(
+            VIP_BASE + 1, 8080, [DIP_BASE + 0xE0, DIP_BASE + 0xE1],
+        )
+        mux.program_vip_port(
+            VIP_BASE + 20, 443, [DIP_BASE + 0xE8 + j for j in range(3)],
+        )
+        # Resilient removals: evolved layouts on plain, WCMP and TIP VIPs.
+        mux.remove_dip(VIP_BASE + 3, DIP_BASE + 16 * 3 + 1)
+        mux.remove_dip(VIP_BASE + 7, DIP_BASE + 16 * 7 + 0)
+        mux.remove_dip(VIP_BASE + 7, DIP_BASE + 16 * 7 + 4)
+        mux.remove_dip(VIP_BASE + 10, DIP_BASE + 0xA1)
+        mux.remove_dip(TIP_BASE + 0, DIP_BASE + 0xC2)
+    return twins
+
+
+def random_packet_mix(rng: random.Random, n: int) -> List[Packet]:
+    """A mixed batch covering every pipeline branch."""
+    packets: List[Packet] = []
+    for _ in range(n):
+        flow = FiveTuple(
+            src_ip=rng.randrange(1 << 32),
+            dst_ip=VIP_BASE + rng.randrange(24),  # hits + unknown VIPs
+            src_port=rng.randrange(1024, 65536),
+            dst_port=rng.choice([80, 443, 8080, 8081]),
+            protocol=rng.choice([PROTO_TCP, PROTO_UDP]),
+        )
+        packet = Packet(flow, size_bytes=rng.randrange(64, 1501))
+        roll = rng.random()
+        if roll < 0.15:
+            # Encapsulated toward a TIP (sometimes an unknown one).
+            packet = packet.encapsulate(
+                rng.randrange(1 << 32), TIP_BASE + rng.randrange(3),
+            )
+        elif roll < 0.20:
+            # Encapsulated toward a non-TIP address: no-match branch.
+            packet = packet.encapsulate(
+                rng.randrange(1 << 32), DIP_BASE + rng.randrange(256),
+            )
+        elif roll < 0.23:
+            # Deep encapsulation: the scalar-fallback branch.
+            packet = packet.encapsulate(
+                rng.randrange(1 << 32), TIP_BASE + rng.randrange(2),
+            ).encapsulate(rng.randrange(1 << 32), TIP_BASE + rng.randrange(2))
+        packets.append(packet)
+    return packets
+
+
+def test_hmux_bulk_differential() -> None:
+    """The headline sweep: 4096 randomized packets through the rich
+    layout — every branch (plain/WCMP/virtualized VIP, TIP re-encap,
+    ACL shadowing, deep-encap fallback, evolved layouts) byte-identical
+    to scalar."""
+    scalar, batched = build_rich_hmux_twins()
+    rng = random.Random(0xD0E7)
+    assert_hmux_equivalent(scalar, batched, random_packet_mix(rng, 4096))
+
+
+def test_hmux_differential_across_reprogramming() -> None:
+    """One engine instance across interleaved traffic and programming:
+    the layout caches must invalidate on every mutation."""
+    scalar, batched = build_rich_hmux_twins()
+    engine = BatchHMux(batched)
+    rng = random.Random(0xBEEF)
+    for round_no in range(6):
+        assert_hmux_equivalent(
+            scalar, batched, random_packet_mix(rng, 256), engine=engine,
+        )
+        # Mutate both twins identically between rounds (pick the victim
+        # once — the twins' DIP lists are identical here).
+        victim_vip = VIP_BASE + (round_no % 3)
+        dips = scalar.dips_of(victim_vip)
+        if len(dips) > 1:
+            victim_dip = dips[rng.randrange(len(dips))]
+            for mux in (scalar, batched):
+                mux.remove_dip(victim_vip, victim_dip)
+        if round_no == 2:
+            for mux in (scalar, batched):
+                mux.remove_vip(VIP_BASE + 9)
+                mux.program_vip(
+                    VIP_BASE + 30, [DIP_BASE + 0xF0, DIP_BASE + 0xF1],
+                )
+        if round_no == 4:
+            for mux in (scalar, batched):
+                mux.remove_vip_port(VIP_BASE + 1, 8080)
+
+
+def test_hmux_reset_clears_batch_state() -> None:
+    scalar, batched = build_rich_hmux_twins()
+    engine = BatchHMux(batched)
+    rng = random.Random(1)
+    assert_hmux_equivalent(scalar, batched, random_packet_mix(rng, 64),
+                           engine=engine)
+    for mux in (scalar, batched):
+        mux.reset()
+    assert_hmux_equivalent(scalar, batched, random_packet_mix(rng, 64),
+                           engine=engine)
+
+
+def test_empty_batch() -> None:
+    scalar, batched = build_rich_hmux_twins()
+    assert_hmux_equivalent(scalar, batched, [])
+
+
+# ---------------------------------------------------------------------------
+# SMux differential
+# ---------------------------------------------------------------------------
+
+def build_rich_smux_twins() -> Tuple[SMux, SMux]:
+    ops: List[Op] = []
+    for k in range(8):
+        dips = [DIP_BASE + 16 * k + j for j in range(1 + (k % 6))]
+        ops.append(("set_vip", (VIP_BASE + k, dips)))
+    ops.append(("set_vip", (VIP_BASE + 8,
+                            [DIP_BASE + 0xA0, DIP_BASE + 0xA1,
+                             DIP_BASE + 0xA2], [2.0, 1.0, 1.0])))
+    ops.append(("set_vip_port", (VIP_BASE + 1, 8080,
+                                 [DIP_BASE + 0xE0, DIP_BASE + 0xE1])))
+    ops.append(("set_vip_port", (VIP_BASE + 9, 443,
+                                 [DIP_BASE + 0xE8])))
+    return make_twin_smuxes(ops, seed=7)
+
+
+def smux_packet_mix(rng: random.Random, n: int) -> List[Packet]:
+    packets = []
+    for _ in range(n):
+        flow = FiveTuple(
+            src_ip=rng.randrange(1 << 24),  # small space -> flow repeats
+            dst_ip=VIP_BASE + rng.randrange(12),
+            src_port=rng.randrange(1024, 1024 + 64),
+            dst_port=rng.choice([80, 443, 8080]),
+            protocol=PROTO_TCP,
+        )
+        packets.append(Packet(flow, size_bytes=rng.randrange(64, 1501)))
+    return packets
+
+
+def test_smux_bulk_differential() -> None:
+    """2048 packets from a deliberately small flow space, so many rows
+    are repeat flows: pins must be created once and honoured after."""
+    scalar, batched = build_rich_smux_twins()
+    rng = random.Random(0x5EED)
+    engine = BatchSMux(batched)
+    for _ in range(2):
+        assert_smux_equivalent(
+            scalar, batched, smux_packet_mix(rng, 1024), engine=engine,
+        )
+
+
+def test_smux_differential_across_map_changes() -> None:
+    """Map churn between batches: shrinking a pool drops exactly the
+    pins on withdrawn DIPs, in both planes alike."""
+    scalar, batched = build_rich_smux_twins()
+    engine = BatchSMux(batched)
+    rng = random.Random(0xCAFE)
+    assert_smux_equivalent(scalar, batched, smux_packet_mix(rng, 512),
+                           engine=engine)
+    for mux in (scalar, batched):
+        mux.set_vip(VIP_BASE + 2, [DIP_BASE + 32])       # shrink pool
+        mux.set_vip(VIP_BASE + 5, [DIP_BASE + 0xF4,     # replace pool
+                                   DIP_BASE + 0xF5])
+        mux.remove_vip(VIP_BASE + 7)
+        mux.remove_vip_port(VIP_BASE + 1, 8080)
+    assert_smux_equivalent(scalar, batched, smux_packet_mix(rng, 512),
+                           engine=engine)
+
+
+def test_smux_expiry_invalidates_pin_cache() -> None:
+    scalar, batched = build_rich_smux_twins()
+    engine = BatchSMux(batched)
+    rng = random.Random(3)
+    packets = smux_packet_mix(rng, 128)
+    assert_smux_equivalent(scalar, batched, packets, engine=engine)
+    for flow in list(scalar.connections())[:10]:
+        assert scalar.expire_connection(flow)
+        assert batched.expire_connection(flow)
+    assert_smux_equivalent(scalar, batched, packets, engine=engine)
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis: randomized layouts, failure states and traffic
+# ---------------------------------------------------------------------------
+
+@st.composite
+def hmux_scenario(draw):
+    """A random layout + removal schedule + packet stream."""
+    n_vips = draw(st.integers(1, 6))
+    layouts = []
+    for k in range(n_vips):
+        n_dips = draw(st.integers(1, 8))
+        weighted = draw(st.booleans())
+        weights = (
+            [float(draw(st.integers(1, 4))) for _ in range(n_dips)]
+            if weighted else None
+        )
+        is_tip = draw(st.booleans()) if n_dips > 1 else False
+        layouts.append((k, n_dips, weights, is_tip))
+    # Removal schedule: (vip index, dip offset) — applied when legal.
+    removals = draw(st.lists(
+        st.tuples(st.integers(0, n_vips - 1), st.integers(0, 7)),
+        max_size=6,
+    ))
+    flows = draw(st.lists(
+        st.tuples(
+            st.integers(0, (1 << 32) - 1),      # src ip
+            st.integers(0, n_vips + 1),          # vip index (may miss)
+            st.integers(1024, 65535),            # src port
+            st.booleans(),                       # encapsulate toward vip?
+        ),
+        min_size=1, max_size=64,
+    ))
+    seed = draw(st.integers(0, 2 ** 16))
+    return layouts, removals, flows, seed
+
+
+@given(hmux_scenario())
+@settings(
+    max_examples=60, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_hmux_differential_property(scenario) -> None:
+    layouts, removals, flows, seed = scenario
+    twins = (
+        HMux(SWITCH_IP, tables=BIG_TABLES, hash_seed=seed),
+        HMux(SWITCH_IP, tables=BIG_TABLES, hash_seed=seed),
+    )
+    for mux in twins:
+        for k, n_dips, weights, is_tip in layouts:
+            mux.program_vip(
+                VIP_BASE + k,
+                [DIP_BASE + 16 * k + j for j in range(n_dips)],
+                weights, is_tip=is_tip,
+            )
+        for vip_index, dip_offset in removals:
+            vip = VIP_BASE + vip_index
+            dips = mux.dips_of(vip)
+            if len(dips) > 1:
+                mux.remove_dip(vip, dips[dip_offset % len(dips)])
+    packets = []
+    for src_ip, vip_index, src_port, encap in flows:
+        packet = Packet(FiveTuple(
+            src_ip=src_ip, dst_ip=VIP_BASE + vip_index,
+            src_port=src_port, dst_port=80, protocol=PROTO_TCP,
+        ))
+        if encap:
+            packet = packet.encapsulate(src_ip, VIP_BASE + vip_index)
+        packets.append(packet)
+    assert_hmux_equivalent(*twins, packets)
+
+
+@st.composite
+def smux_scenario(draw):
+    n_vips = draw(st.integers(1, 5))
+    pools = []
+    for k in range(n_vips):
+        n_dips = draw(st.integers(1, 6))
+        pools.append((k, n_dips))
+    shrinks = draw(st.lists(st.integers(0, n_vips - 1), max_size=3))
+    flows = draw(st.lists(
+        st.tuples(
+            st.integers(0, 255),                 # src ip (tiny: repeats)
+            st.integers(0, n_vips),              # vip index (may miss)
+            st.integers(1024, 1031),             # src port (tiny)
+        ),
+        min_size=1, max_size=80,
+    ))
+    seed = draw(st.integers(0, 2 ** 16))
+    return pools, shrinks, flows, seed
+
+
+@given(smux_scenario())
+@settings(
+    max_examples=60, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_smux_differential_property(scenario) -> None:
+    pools, shrinks, flows, seed = scenario
+    twins = (
+        SMux(0, SMUX_IP, hash_seed=seed),
+        SMux(1, SMUX_IP, hash_seed=seed),
+    )
+    for mux in twins:
+        for k, n_dips in pools:
+            mux.set_vip(
+                VIP_BASE + k,
+                [DIP_BASE + 16 * k + j for j in range(n_dips)],
+            )
+    packets = [
+        Packet(FiveTuple(
+            src_ip=src, dst_ip=VIP_BASE + vip_index,
+            src_port=sport, dst_port=80, protocol=PROTO_TCP,
+        ))
+        for src, vip_index, sport in flows
+    ]
+    scalar, batched = twins
+    engine = BatchSMux(batched)
+    assert_smux_equivalent(scalar, batched, packets, engine=engine)
+    for mux in twins:
+        for k in shrinks:
+            mux.set_vip(VIP_BASE + k, [DIP_BASE + 16 * k])
+    assert_smux_equivalent(scalar, batched, packets, engine=engine)

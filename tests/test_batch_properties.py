@@ -1,0 +1,135 @@
+"""Property tests for batched resilient hashing (ISSUE 2 satellite).
+
+The batch engine's cached slot layouts are snapshots of live
+:class:`ResilientHashTable` state.  These properties pin the contract
+after arbitrary DIP-removal sequences:
+
+* the cached layout matches the hash table **slot for slot**,
+* removal protection holds — a removal only rewrites the slots of the
+  removed member; every other flow keeps its target (paper S5.1),
+* batched ECMP selection over those layouts picks the same target the
+  scalar ``select`` does for every flow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dataplane import BatchHMux, FlowBatch, HMux, ResilientHashTable
+from repro.dataplane.packet import FiveTuple, PROTO_TCP, Packet
+from repro.net.topology import SwitchTableSpec
+
+VIP = 0x64_0000_01
+DIP_BASE = 0x0A_0001_00
+TABLES = SwitchTableSpec(host_table=256, ecmp_table=4096, tunnel_table=4096)
+
+
+@st.composite
+def removal_sequence(draw):
+    n_members = draw(st.integers(2, 12))
+    weighted = draw(st.booleans())
+    weights = (
+        [float(draw(st.integers(1, 3))) for _ in range(n_members)]
+        if weighted else None
+    )
+    # Up to n-1 removals, as indices into the shrinking member list.
+    n_removals = draw(st.integers(0, n_members - 1))
+    picks = [draw(st.integers(0, 31)) for _ in range(n_removals)]
+    seed = draw(st.integers(0, 2 ** 16))
+    return n_members, weights, picks, seed
+
+
+@given(removal_sequence())
+@settings(
+    max_examples=80, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_removal_protection_and_slot_layout(scenario) -> None:
+    """After every removal in a random sequence: (a) untouched slots
+    keep their member (removal protection), (b) the HMux's flattened
+    layout equals the hash table's ``slots()`` mapped through the tunnel
+    table, slot for slot."""
+    n_members, weights, picks, seed = scenario
+    dips = [DIP_BASE + j for j in range(n_members)]
+    hmux = HMux(0x0A00_0001, tables=TABLES, hash_seed=seed)
+    hmux.program_vip(VIP, dips, weights)
+    # A twin hash table driven with the same removals, as the reference.
+    state = hmux._vips[VIP]
+    before = list(state.hash_table.slots())
+    for pick in picks:
+        current = hmux.dips_of(VIP)
+        if len(current) <= 1:
+            break
+        victim = current[pick % len(current)]
+        victim_member = next(
+            m for m in state.hash_table.members
+            if hmux.tunnel_table.get(m) == victim
+        )
+        hmux.remove_dip(VIP, victim)
+        after = list(state.hash_table.slots())
+        # Removal protection: only the victim's old slots changed.
+        for slot, (old, new) in enumerate(zip(before, after)):
+            if old != victim_member:
+                assert new == old, (
+                    f"slot {slot} remapped {old}->{new} though "
+                    f"{victim_member} was removed"
+                )
+            else:
+                assert new != victim_member
+        before = after
+        # The flattened layout the batch engine caches tracks exactly.
+        assert hmux.slot_targets(VIP) == [
+            hmux.tunnel_table.get(m) for m in after
+        ]
+
+
+@given(removal_sequence(), st.integers(0, 2 ** 32 - 1))
+@settings(
+    max_examples=60, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_batch_ecmp_matches_scalar_select(scenario, flow_seed) -> None:
+    """Batched slot selection over the cached layout equals scalar
+    ``ResilientHashTable.select`` for a spread of flows, after any
+    removal sequence."""
+    n_members, weights, picks, seed = scenario
+    dips = [DIP_BASE + j for j in range(n_members)]
+    hmux = HMux(0x0A00_0001, tables=TABLES, hash_seed=seed)
+    hmux.program_vip(VIP, dips, weights)
+    for pick in picks:
+        current = hmux.dips_of(VIP)
+        if len(current) <= 1:
+            break
+        hmux.remove_dip(VIP, current[pick % len(current)])
+
+    rng = np.random.default_rng(flow_seed)
+    n = 200
+    batch = FlowBatch.from_fields(
+        src_ip=rng.integers(0, 1 << 32, n, dtype=np.uint64),
+        dst_ip=np.full(n, VIP, np.uint64),
+        src_port=rng.integers(1024, 65536, n, dtype=np.uint64),
+        dst_port=np.full(n, 80, np.uint64),
+        protocol=np.full(n, PROTO_TCP, np.uint64),
+    )
+    engine = BatchHMux(hmux)
+    got = engine.process(batch)
+    state = hmux._vips[VIP]
+    for i in range(n):
+        flow = batch.flow_at(i)
+        expected = hmux.tunnel_table.get(state.hash_table.select(flow))
+        assert int(got.target[i]) == expected, f"row {i}: {flow}"
+
+
+def test_slot_layout_is_weight_proportional() -> None:
+    """WCMP sanity: the flattened layout holds each member's slot count
+    in (integer) weight proportion — the invariant the batch engine
+    inherits by snapshotting ``slots()``."""
+    table = ResilientHashTable([1, 2, 3], n_slots=12, seed=9,
+                               weights=[3.0, 2.0, 1.0])
+    counts = table.slot_counts()
+    assert counts[1] == 3 * counts[3]
+    assert counts[2] == 2 * counts[3]
+    assert counts[1] + counts[2] + counts[3] == 12
+    assert len(table.slots()) == 12

@@ -102,3 +102,38 @@ class TestWorkloadCommands:
         epochs = load_trace(trace, population)
         assert len(population) == 15
         assert len(epochs) == 2
+
+
+class TestChaosReplay:
+    """The sabotage -> artifact -> replay round trip (ISSUE 2): a run
+    that trips the invariant checker writes a reproduction artifact, and
+    replaying that artifact reproduces the violation at the same step."""
+
+    def test_sabotage_artifact_replays_at_same_step(self, tmp_path, capsys):
+        artifact = tmp_path / "chaos-artifact.json"
+        assert main([
+            "chaos", "--seed", "3", "--events", "60",
+            "--sabotage-at", "40", "--artifact", str(artifact),
+        ]) == 1
+        out = capsys.readouterr().out
+        assert "first at step 40" in out
+        assert artifact.exists()
+
+        assert main(["chaos", "--replay", str(artifact)]) == 1
+        replay_out = capsys.readouterr().out
+        assert "artifact reproduces: violation at step 40" in replay_out
+        # The replay reports the same violations the live run recorded.
+        live = {l.strip() for l in out.splitlines() if l.startswith("  [")}
+        replayed = {
+            l.strip() for l in replay_out.splitlines() if l.startswith("  [")
+        }
+        assert live == replayed and live
+
+    def test_replay_missing_artifact(self, tmp_path, capsys):
+        missing = tmp_path / "no-such.json"
+        assert main(["chaos", "--replay", str(missing)]) == 2
+        assert "cannot replay artifact" in capsys.readouterr().err
+
+    def test_clean_run_exits_zero(self, capsys):
+        assert main(["chaos", "--seed", "1", "--events", "40"]) == 0
+        assert "invariants: all held" in capsys.readouterr().out
