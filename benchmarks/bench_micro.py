@@ -171,3 +171,76 @@ def test_greedy_assignment_pass(benchmark):
 
     result = benchmark(run)
     assert result.n_assigned == len(demands)
+
+
+# -- durability: write-ahead journal overhead --------------------------------
+
+def test_journal_append_commit_throughput(benchmark):
+    """Raw journal protocol cost: append + commit of a typical op record
+    (what every mutating controller op pays before its side effects)."""
+    from repro.durability import WriteAheadJournal
+
+    params = {"vip": 0x0A000001, "dip": {
+        "addr": 0x0B000001, "server_id": 3, "weight": 1.0,
+    }, "switch": 7}
+
+    def run():
+        journal = WriteAheadJournal()
+        for _ in range(512):
+            journal.commit(journal.append("add_dip", params), {"assigned": 7})
+        journal.write_snapshot({"records": []}, force=True)
+        return journal
+
+    benchmark(run)
+
+
+def _mutation_cycle(controller, addr, dip):
+    controller.add_dip(addr, dip)
+    controller.remove_dip(addr, dip.addr)
+
+
+def test_journal_mutation_path_overhead_gate():
+    """Journaling must cost <= 10% on the mutation path.
+
+    Twin controllers (same seed) run identical add_dip/remove_dip
+    cycles — the op whose journal record is largest relative to its
+    work — one journaled (default snapshot interval, so periodic full
+    checkpoints are included in the price), one bare.  Best-of-N timing
+    on each keeps scheduler noise out of the ratio.
+    """
+    import time
+
+    from repro.chaos.engine import ChaosConfig, build_controller
+    from repro.durability import WriteAheadJournal
+    from repro.workload.vips import Dip
+
+    def make(journaled: bool):
+        controller = build_controller(ChaosConfig(seed=29, n_vips=16))
+        if journaled:
+            controller.attach_journal(WriteAheadJournal())
+        addr = sorted(controller.records())[0]
+        server = controller.records()[addr].dips[0].server_id
+        dip = Dip(
+            addr=0x0BFF0001, server_id=server,
+            tor=controller.topology.server_tor(server),
+        )
+        return controller, addr, dip
+
+    def best_of(controller, addr, dip, cycles=40, repeats=5):
+        _mutation_cycle(controller, addr, dip)  # warm every code path
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for _ in range(cycles):
+                _mutation_cycle(controller, addr, dip)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    bare = best_of(*make(journaled=False))
+    journaled = best_of(*make(journaled=True))
+    slowdown = journaled / bare - 1.0
+    print(f"\njournal overhead on add_dip/remove_dip: {slowdown:+.1%} "
+          f"(bare {bare * 1e3:.1f} ms, journaled {journaled * 1e3:.1f} ms)")
+    assert slowdown <= 0.10, (
+        f"journaling slows the mutation path by {slowdown:.1%} (> 10% gate)"
+    )

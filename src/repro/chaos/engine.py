@@ -15,11 +15,12 @@ because events carry fully-specified parameters and every random choice
 from __future__ import annotations
 
 import json
+import random
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.assignment import AssignmentConfig
-from repro.core.controller import DuetController
+from repro.core.controller import DuetController, SimulatedCrash
 from repro.net.failures import (
     FaultModel,
     ScriptedFaultModel,
@@ -66,6 +67,12 @@ class ChaosConfig:
     stop_on_violation: bool = True
     sabotage_step: Optional[int] = None
     flows_per_vip: int = 2
+    # Controller-crash injection: per-step probability of killing the
+    # controller and restoring it from its write-ahead journal.  Half
+    # the crashes land at an op boundary, half at a fault point inside
+    # the next op (mid-plan / mid-add_dip).
+    crash_prob: float = 0.0
+    snapshot_interval: int = 32
 
     def to_dict(self) -> Dict[str, Any]:
         data = asdict(self)
@@ -231,6 +238,8 @@ class ChaosReport:
     first_violation_step: Optional[int]
     artifact: Optional[ChaosArtifact]
     traces: List[StepTrace]
+    crashes: int = 0
+    stats: Dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -263,6 +272,21 @@ class ChaosEngine:
             seed=config.seed,
             flows_per_vip=config.flows_per_vip,
         )
+        # Durability: every engine run journals, so a crash event (or a
+        # user poking at --crash-prob) always has intent to restore from.
+        from repro.durability import WriteAheadJournal
+
+        self.controller.attach_journal(
+            WriteAheadJournal(),
+            snapshot_interval=config.snapshot_interval,
+        )
+        # The crash decision stream is independent of event sampling so
+        # the same seed explores the same event sequence with and
+        # without crashes.
+        self._crash_rng = random.Random(config.seed ^ 0xC4A54)
+        self._armed: Optional[Dict[str, int]] = None
+        self.crashes = 0
+        self._stats_base: Dict[str, float] = {}
 
     def _next_event(self, step: int) -> Optional[ChaosEvent]:
         if self._scripted is not None:
@@ -273,7 +297,74 @@ class ChaosEngine:
             return None
         if self.config.sabotage_step == step:
             return self.generator.sabotage_event()
+        if (
+            self.config.crash_prob > 0
+            and self._armed is None
+            and self._crash_rng.random() < self.config.crash_prob
+        ):
+            if self._crash_rng.random() < 0.5:
+                return ChaosEvent(EventKind.CONTROLLER_CRASH, {})
+            return ChaosEvent(EventKind.CONTROLLER_CRASH, {
+                "during_next": self._crash_rng.randint(1, 3),
+            })
         return self.generator.next_event()
+
+    # -- controller crash-restart ------------------------------------------
+
+    def _arm_crash(self, countdown: int) -> None:
+        """Arm the controller's crash hook: die at the ``countdown``-th
+        op-internal crash point reached from now on."""
+        state = {"n": countdown}
+
+        def hook(label: str) -> bool:
+            state["n"] -= 1
+            return state["n"] <= 0
+
+        self._armed = state
+        self.controller.set_crash_hook(hook)
+
+    def _do_crash(self) -> None:
+        """Kill the controller and bring it back: harvest the surviving
+        dataplane, restore intent from the journal, reconcile drift."""
+        from repro.durability import AntiEntropyReconciler, harvest_dataplane
+
+        dying = self.controller
+        # ProgrammingStats die with the incarnation; fold them into the
+        # cumulative base so stats_totals() stays monotone across crashes.
+        self._accumulate_stats()
+        restored = DuetController.restore(
+            dying.journal,
+            dataplane=harvest_dataplane(dying),
+            topology=dying.topology,
+            # The surviving fault model keeps its RNG stream: a restart
+            # does not reset the network's weather.
+            fault_model=dying._fault_model,
+        )
+        AntiEntropyReconciler(restored).converge()
+        self.controller = restored
+        self.generator.controller = restored
+        self.checker.controller = restored
+        self.tracker.controller = restored
+        self._armed = None
+        self.crashes += 1
+
+    def _accumulate_stats(self) -> None:
+        snap = self.controller.stats_snapshot()
+        for key in (
+            "attempts", "retries", "transient_faults", "degraded",
+            "skipped_dead_switch", "backoff_s", "unwinds",
+            "reconcile_rounds", "reconcile_repairs",
+        ):
+            self._stats_base[key] = self._stats_base.get(key, 0) + snap[key]
+
+    def stats_totals(self) -> Dict[str, float]:
+        """Observability counters summed over every controller
+        incarnation of this run (journal counters are lifetime values of
+        the shared journal, so they are taken from the live one only)."""
+        totals = self.controller.stats_snapshot()
+        for key, value in self._stats_base.items():
+            totals[key] = totals.get(key, 0) + value
+        return totals
 
     def run(self) -> ChaosReport:
         self.tracker.prime()
@@ -288,7 +379,24 @@ class ChaosEngine:
             event = self._next_event(step)
             if event is None:
                 break
-            apply_event(self.controller, event)
+            if event.kind is EventKind.CONTROLLER_CRASH:
+                during = event.params.get("during_next")
+                if during is None:
+                    self._do_crash()
+                else:
+                    self._arm_crash(during)
+            else:
+                was_armed = self._armed is not None
+                try:
+                    apply_event(self.controller, event)
+                except SimulatedCrash:
+                    self._do_crash()
+                else:
+                    if was_armed:
+                        # The op exposed fewer crash points than the
+                        # armed countdown; the kill lands on the op
+                        # boundary instead of evaporating.
+                        self._do_crash()
             applied.append(event)
             event_counts[event.kind.value] = (
                 event_counts.get(event.kind.value, 0) + 1
@@ -317,6 +425,8 @@ class ChaosEngine:
             first_violation_step=first_violation_step,
             artifact=artifact,
             traces=traces,
+            crashes=self.crashes,
+            stats=self.stats_totals(),
         )
 
 

@@ -40,6 +40,14 @@ class EventKind(enum.Enum):
     REMOVE_DIP = "remove_dip"
     REBALANCE = "rebalance"
     ENABLE_SNAT = "enable_snat"
+    #: Kill the controller process and restore it from its write-ahead
+    #: journal.  Params: ``{}`` crashes at this op boundary;
+    #: ``{"during_next": k}`` arms the crash hook to fire at the k-th
+    #: crash point *inside* the next event's op (mid-plan, mid-add_dip).
+    #: Emitted by the engine's own crash stream (``--crash-prob``), not
+    #: by weight sampling, but carried in the applied-event list so
+    #: artifacts replay crashes faithfully.
+    CONTROLLER_CRASH = "controller_crash"
     #: Deliberately corrupt state (announce a /32 from a mux that never
     #: programmed it).  Weight is zero unless explicitly requested; it
     #: exists to prove the invariant checker and the reproduction
@@ -85,6 +93,7 @@ DEFAULT_WEIGHTS: Dict[EventKind, float] = {
     EventKind.REMOVE_DIP: 5.0,
     EventKind.REBALANCE: 8.0,
     EventKind.ENABLE_SNAT: 2.0,
+    EventKind.CONTROLLER_CRASH: 0.0,
     EventKind.SABOTAGE: 0.0,
 }
 

@@ -76,6 +76,7 @@ class InvariantChecker:
         violations += self.check_failed_switch_state()
         violations += self.check_consistency()
         violations += self.check_snat_disjoint()
+        violations += self.check_intent_matches_dataplane()
         return violations
 
     # -- individual invariants ---------------------------------------------
@@ -258,6 +259,18 @@ class InvariantChecker:
                     "backstop must cover every VIP",
                 ))
         return violations
+
+    def check_intent_matches_dataplane(self) -> List[Violation]:
+        """The anti-entropy reconciler's diff, run in audit mode: the
+        controller's intended state (records, assignment, SNAT grants)
+        must be exactly what the live dataplane implements.  Any drift a
+        crash-restart would have to repair is a violation *now*."""
+        from repro.durability.reconcile import AntiEntropyReconciler
+
+        return [
+            Violation("intent-matches-dataplane", detail)
+            for detail in AntiEntropyReconciler(self.controller).diff()
+        ]
 
     def check_snat_disjoint(self) -> List[Violation]:
         c = self.controller

@@ -145,6 +145,24 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--replay", metavar="PATH", default=None,
                        help="replay a previously saved artifact instead "
                             "of generating events")
+    chaos.add_argument("--crash-prob", type=float, default=0.0,
+                       help="per-step probability of killing the controller "
+                            "and restoring it from its write-ahead journal")
+    chaos.add_argument("--journal", metavar="PATH", default=None,
+                       help="write the final write-ahead journal (JSONL) "
+                            "here; feed it to 'recover' to audit restores")
+    chaos.add_argument("--snapshot-interval", type=int, default=32,
+                       help="journal ops between snapshot checkpoints")
+
+    recover = sub.add_parser(
+        "recover",
+        help="restore a controller from a write-ahead journal and "
+             "reconcile it (crash-recovery drill)",
+    )
+    recover.add_argument("journal", help="journal JSONL path "
+                                         "(from chaos --journal)")
+    recover.add_argument("--max-rounds", type=int, default=5,
+                         help="anti-entropy convergence round limit")
     return parser
 
 
@@ -351,6 +369,8 @@ def _cmd_chaos(args) -> int:
         broken_switches=tuple(args.broken_switch),
         stop_on_violation=not args.keep_going,
         sabotage_step=args.sabotage_at,
+        crash_prob=args.crash_prob,
+        snapshot_interval=args.snapshot_interval,
     )
     engine = ChaosEngine(config)
     started = time.monotonic()
@@ -361,11 +381,21 @@ def _cmd_chaos(args) -> int:
     width = max((len(k) for k in report.event_counts), default=1)
     for kind in sorted(report.event_counts):
         print(f"  {kind.ljust(width)}  {report.event_counts[kind]}")
-    stats = engine.controller.programming_stats
-    print(f"programming: {stats.attempts} attempts, "
-          f"{stats.transient_faults} transient faults, "
-          f"{stats.degraded} degradations, "
-          f"{stats.skipped_dead_switch} dead-switch skips")
+    stats = report.stats
+    print(f"programming: {stats['attempts']:g} attempts, "
+          f"{stats['transient_faults']:g} transient faults, "
+          f"{stats['degraded']:g} degradations, "
+          f"{stats['skipped_dead_switch']:g} dead-switch skips")
+    if report.crashes:
+        print(f"controller crashes survived: {report.crashes} "
+              f"({stats['reconcile_rounds']:g} reconcile rounds, "
+              f"{stats['reconcile_repairs']:g} repairs, "
+              f"{stats['journal_ops']:g} journaled ops, "
+              f"{stats['journal_snapshots']:g} snapshots)")
+    if args.journal is not None:
+        engine.controller.journal.save(args.journal)
+        print(f"write-ahead journal -> {args.journal} "
+              f"(audit with: python -m repro recover {args.journal})")
     degraded = sorted(engine.controller.degraded_vips)
     if degraded:
         from repro.net.addressing import format_ip
@@ -384,6 +414,46 @@ def _cmd_chaos(args) -> int:
     print(f"reproduction artifact -> {artifact_path} "
           f"(replay with: python -m repro chaos --replay {artifact_path})")
     return 1
+
+
+def _cmd_recover(args) -> int:
+    from repro.chaos.invariants import InvariantChecker
+    from repro.core.controller import DuetController
+    from repro.durability import (
+        AntiEntropyReconciler,
+        JournalError,
+        RecoveryError,
+        WriteAheadJournal,
+    )
+
+    try:
+        journal = WriteAheadJournal.load(args.journal)
+    except (OSError, ValueError, KeyError, JournalError) as error:
+        print(f"cannot load journal: {error}", file=sys.stderr)
+        return 2
+    try:
+        controller = DuetController.restore(journal)
+    except RecoveryError as error:
+        print(f"recovery failed: {error}", file=sys.stderr)
+        return 2
+    report = AntiEntropyReconciler(
+        controller, max_rounds=args.max_rounds
+    ).converge()
+    print(f"restored {len(controller.records())} VIPs, "
+          f"{len(controller.smuxes)} SMuxes "
+          f"(journal: {len(journal.tail())} ops since last snapshot)")
+    print(f"reconcile: {report.rounds} rounds, {report.n_repairs} repairs, "
+          f"{'converged' if report.converged else 'NOT CONVERGED'}")
+    violations = InvariantChecker(controller).check()
+    if not report.converged:
+        return 1
+    if violations:
+        print(f"invariants after recovery ({len(violations)}):")
+        for violation in violations:
+            print(f"  {violation}")
+        return 1
+    print("invariants: all held after recovery")
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -406,6 +476,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_workload_info(args.path)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "recover":
+        return _cmd_recover(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

@@ -21,8 +21,9 @@ modelled by :mod:`repro.sim`; operations here take effect immediately.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.assignment import (
     Assignment,
@@ -69,15 +70,28 @@ class SwitchProgrammingError(ControllerError):
     with backoff and ultimately degrades the VIP to SMux-only."""
 
 
+class SimulatedCrash(Exception):
+    """The controller process died at an injected crash point.
+
+    Deliberately *not* a :class:`ControllerError`: nothing inside the
+    controller may catch it — it must unwind through the op so the
+    journal keeps the uncommitted record that recovery rolls forward.
+    """
+
+
 @dataclass
 class ProgrammingStats:
     """Observability counters for the assignment updater's RPC path."""
 
     attempts: int = 0
+    retries: int = 0               # attempts beyond the first per program
     transient_faults: int = 0
     degraded: int = 0              # retry budget exhausted -> SMux-only
     skipped_dead_switch: int = 0   # plan step targeted a failed switch
     backoff_s: float = 0.0         # cumulative modelled backoff
+    unwinds: int = 0               # partial-VIP teardowns after a fault
+    reconcile_rounds: int = 0      # anti-entropy rounds run post-recovery
+    reconcile_repairs: int = 0     # drift repairs those rounds made
 
 
 class SwitchAgent:
@@ -224,6 +238,14 @@ class DuetController:
         self.retry_backoff_s = retry_backoff_s
         self.programming_stats = ProgrammingStats()
         self._fault_model = fault_model
+        # Durability plumbing (see repro.durability): no journal until
+        # attach_journal, ops nest (cut_link -> fail_switch) so only the
+        # outermost journals, and the crash hook simulates process death
+        # at op-internal fault points.
+        self._journal = None
+        self._journal_depth = 0
+        self._snapshot_interval = 64
+        self._crash_hook = None
 
         self.switch_agents: Dict[int, SwitchAgent] = {
             s.index: SwitchAgent(
@@ -296,6 +318,140 @@ class DuetController:
             for aggregate in SMUX_AGGREGATES:
                 self.route_table.announce(aggregate, ref)
 
+    # -- durability (write-ahead journal + crash recovery) ------------------------
+
+    @property
+    def journal(self):
+        return self._journal
+
+    def attach_journal(self, journal, *, snapshot_interval: Optional[int] = None) -> None:
+        """Start journaling every mutating op to ``journal``.
+
+        Writes the meta record (everything needed to cold-restore:
+        topology params, assignment config, seeds and retry knobs) if
+        the journal has none, then an immediate snapshot of the current
+        intent — so the journal is sufficient from the moment it is
+        attached, and a post-recovery attach absorbs the replayed tail.
+        """
+        from repro.durability.recovery import snapshot_state
+        from repro.workload.serialization import params_to_dict
+
+        if snapshot_interval is not None:
+            if snapshot_interval < 1:
+                raise ControllerError("snapshot interval must be positive")
+            self._snapshot_interval = snapshot_interval
+        self._journal = journal
+        if journal.meta is None:
+            journal.set_meta({
+                "topology": params_to_dict(self.topology.params),
+                "config": asdict(self.config),
+                "hash_seed": self.hash_seed,
+                "virtualized": self.virtualized,
+                "max_program_attempts": self.max_program_attempts,
+                "retry_backoff_s": self.retry_backoff_s,
+                "snapshot_interval": self._snapshot_interval,
+            })
+        journal.write_snapshot(snapshot_state(self), force=True)
+
+    def checkpoint(self) -> None:
+        """Snapshot the full intent into the journal, truncating the log."""
+        if self._journal is None:
+            return
+        from repro.durability.recovery import snapshot_state
+
+        self._journal.write_snapshot(snapshot_state(self))
+
+    def _maybe_snapshot(self) -> None:
+        if (
+            self._journal is not None
+            and self._journal.ops_since_snapshot >= self._snapshot_interval
+        ):
+            self.checkpoint()
+
+    @contextmanager
+    def _journal_op(self, op: str, params: Dict[str, Any]) -> Iterator[Dict[str, Any]]:
+        """Write-ahead wrap for one mutating op.
+
+        The intent record lands *before* any side effect; the commit
+        record (with the yielded effects dict) lands after the op
+        completes.  An exception — above all :class:`SimulatedCrash` —
+        skips the commit, leaving the op for recovery to roll forward.
+        Nested ops (``cut_link`` promoting ``fail_switch``) journal only
+        at the outermost level: replay mirrors the nesting.
+        """
+        effects: Dict[str, Any] = {}
+        if self._journal is None or self._journal_depth > 0:
+            self._journal_depth += 1
+            try:
+                yield effects
+            finally:
+                self._journal_depth -= 1
+            return
+        seq = self._journal.append(op, params)
+        self._journal_depth += 1
+        try:
+            yield effects
+        finally:
+            self._journal_depth -= 1
+        self._journal.commit(seq, effects or None)
+        self._maybe_snapshot()
+
+    def set_crash_hook(self, hook) -> None:
+        """Install a callable fired at op-internal crash points; when it
+        returns truthy the controller dies there (:class:`SimulatedCrash`).
+        The chaos engine uses this to kill the controller *inside*
+        ``_execute_plan`` / ``add_dip``, not just between ops."""
+        self._crash_hook = hook
+
+    def _crash_point(self, label: str) -> None:
+        if self._crash_hook is not None and self._crash_hook(label):
+            raise SimulatedCrash(label)
+
+    @classmethod
+    def restore(
+        cls,
+        journal,
+        *,
+        dataplane=None,
+        topology: Optional[Topology] = None,
+        fault_model: Optional[FaultModel] = None,
+    ) -> "DuetController":
+        """Rebuild a controller from its journal (see
+        :func:`repro.durability.recovery.restore_controller`).  Run the
+        :class:`~repro.durability.reconcile.AntiEntropyReconciler` on the
+        result before serving."""
+        from repro.durability.recovery import restore_controller
+
+        return restore_controller(
+            journal,
+            dataplane=dataplane,
+            topology=topology,
+            fault_model=fault_model,
+        )
+
+    def stats_snapshot(self) -> Dict[str, float]:
+        """One immutable view of every observability counter: the RPC
+        path, the reconciler, and the journal.  Values only ever grow
+        over a controller incarnation's lifetime."""
+        s = self.programming_stats
+        snap: Dict[str, float] = {
+            "attempts": s.attempts,
+            "retries": s.retries,
+            "transient_faults": s.transient_faults,
+            "degraded": s.degraded,
+            "skipped_dead_switch": s.skipped_dead_switch,
+            "backoff_s": s.backoff_s,
+            "unwinds": s.unwinds,
+            "reconcile_rounds": s.reconcile_rounds,
+            "reconcile_repairs": s.reconcile_repairs,
+            "journal_ops": 0,
+            "journal_snapshots": 0,
+        }
+        if self._journal is not None:
+            snap["journal_ops"] = self._journal.ops_appended
+            snap["journal_snapshots"] = self._journal.snapshots_written
+        return snap
+
     # -- assignment lifecycle ------------------------------------------------------
 
     def run_initial_assignment(self) -> Assignment:
@@ -317,12 +473,32 @@ class DuetController:
         self._execute_plan(plan, assignment)
 
     def _execute_plan(self, plan: MigrationPlan, new: Assignment) -> None:
+        # All three entry points (apply_assignment, initial install,
+        # rebalance) journal here, where the target and plan are fully
+        # materialized: demands and assigner heuristics never need to be
+        # re-run on replay.  Params capture the PRE-execution target; the
+        # degraded reconciliation below is re-derived from the effects.
+        params = {
+            "target": {
+                "map": [[vid, sw] for vid, sw in new.vip_to_switch.items()],
+                "unassigned": list(new.unassigned),
+            },
+            "plan": [
+                [step.kind.value, step.vip_id, step.switch_index]
+                for step in plan.steps
+            ],
+        }
+        with self._journal_op("apply_assignment", params) as effects:
+            effects["degraded_ids"] = self._execute_plan_steps(plan, new)
+
+    def _execute_plan_steps(self, plan: MigrationPlan, new: Assignment) -> List[int]:
         vips_by_id = {v.vip_id: v for v in self.population}
         degraded_ids: List[int] = []
         for step in plan.steps:
             vip = vips_by_id.get(step.vip_id)
             if vip is None:
                 continue
+            self._crash_point(f"plan:{step.kind.value}:{step.vip_id}")
             record = self._records[vip.addr]
             agent = self.switch_agents[step.switch_index]
             if step.kind is StepKind.WITHDRAW:
@@ -359,6 +535,7 @@ class DuetController:
             if vip_id not in new.unassigned:
                 new.unassigned.append(vip_id)
         self.assignment = new
+        return degraded_ids
 
     def _degrade_and_reconcile(self, record: VipRecord) -> None:
         """Degrade a VIP outside plan execution: mark it SMux-only and
@@ -398,6 +575,7 @@ class DuetController:
         for attempt in range(self.max_program_attempts):
             stats.attempts += 1
             if attempt > 0:
+                stats.retries += 1
                 stats.backoff_s += backoff
                 backoff *= 2
             try:
@@ -422,6 +600,7 @@ class DuetController:
         """Remove whatever slice of a VIP landed before a programming
         fault, so retries (and the capacity invariants) see a clean
         switch."""
+        self.programming_stats.unwinds += 1
         installed = [
             port for port, _ in vip.port_pools
             if agent.hmux.has_vip_port(vip.addr, port)
@@ -438,14 +617,30 @@ class DuetController:
         algorithm decides the right destination." """
         if vip.addr in self._records:
             raise ControllerError(f"VIP {format_ip(vip.addr)} already exists")
-        self._register_vip(vip)
-        self.population.add(vip)
+        if vip.port_pools and self.virtualized:
+            # _register_vip rejects this too, but validation must precede
+            # the journal record: a rejected op is never an intent.
+            raise ControllerError(
+                "port-based pools are not supported on virtualized "
+                "clusters (the ACL pools address DIPs directly)"
+            )
+        from repro.durability.recovery import vip_to_dict
+
+        with self._journal_op("add_vip", {"vip": vip_to_dict(vip)}):
+            self._register_vip(vip)
+            self.population.add(vip)
 
     def remove_vip(self, vip_addr: int) -> None:
         """Remove from its HMux (if any) and from all SMuxes."""
-        record = self._records.pop(vip_addr, None)
+        record = self._records.get(vip_addr)
         if record is None:
             raise ControllerError(f"VIP {format_ip(vip_addr)} unknown")
+        with self._journal_op("remove_vip", {"vip": vip_addr}):
+            self._remove_vip_effects(record)
+
+    def _remove_vip_effects(self, record: VipRecord) -> None:
+        vip_addr = record.addr
+        del self._records[vip_addr]
         if record.assigned_switch is not None:
             self.switch_agents[record.assigned_switch].remove_vip(vip_addr)
         for smux in self.smuxes:
@@ -465,31 +660,45 @@ class DuetController:
         DIP set updated, then the VIP is re-programmed on its HMux."""
         record = self._require(vip_addr)
         switch = record.assigned_switch
-        if switch is not None:
-            # Step 1: withdraw -> SMuxes take over with connection state.
-            self.switch_agents[switch].remove_vip(vip_addr)
-            record.assigned_switch = None
-        # Step 2: add the DIP everywhere.
-        record.dips.append(dip)
-        self._attach_dip(vip_addr, dip)
-        for smux in self.smuxes:
-            smux.set_vip(
-                vip_addr,
-                record.encap_targets(self.virtualized),
-                record.encap_weights(),
-            )
-        # Step 3: move the VIP back to its HMux (through the same guarded
-        # retry path as plan execution: a dead or unprogrammable switch
-        # leaves the VIP on the SMux backstop instead of raising).
-        if switch is not None:
-            if switch in self._failed_switches:
-                self.programming_stats.skipped_dead_switch += 1
-                self._degrade_and_reconcile(record)
-            elif self._program_vip_with_retry(record, record.vip, switch):
-                record.assigned_switch = switch
-                self.degraded_vips.discard(vip_addr)
-            else:
-                self._degrade_and_reconcile(record)
+        params = {
+            "vip": vip_addr,
+            "dip": {
+                "addr": dip.addr,
+                "server_id": dip.server_id,
+                "weight": dip.weight,
+            },
+            "switch": switch,
+        }
+        with self._journal_op("add_dip", params) as effects:
+            if switch is not None:
+                # Step 1: withdraw -> SMuxes take over with connection state.
+                self._crash_point("add_dip:withdraw")
+                self.switch_agents[switch].remove_vip(vip_addr)
+                record.assigned_switch = None
+            # Step 2: add the DIP everywhere.
+            self._crash_point("add_dip:update")
+            record.dips.append(dip)
+            self._attach_dip(vip_addr, dip)
+            for smux in self.smuxes:
+                smux.set_vip(
+                    vip_addr,
+                    record.encap_targets(self.virtualized),
+                    record.encap_weights(),
+                )
+            # Step 3: move the VIP back to its HMux (through the same guarded
+            # retry path as plan execution: a dead or unprogrammable switch
+            # leaves the VIP on the SMux backstop instead of raising).
+            if switch is not None:
+                self._crash_point("add_dip:reprogram")
+                if switch in self._failed_switches:
+                    self.programming_stats.skipped_dead_switch += 1
+                    self._degrade_and_reconcile(record)
+                elif self._program_vip_with_retry(record, record.vip, switch):
+                    record.assigned_switch = switch
+                    self.degraded_vips.discard(vip_addr)
+                else:
+                    self._degrade_and_reconcile(record)
+            effects["assigned"] = record.assigned_switch
 
     def remove_dip(self, vip_addr: int, dip_addr: int) -> None:
         """DIP removal / failure (S5.1-S5.2): resilient hashing on the
@@ -506,24 +715,27 @@ class DuetController:
                 f"cannot remove the last DIP of {format_ip(vip_addr)}"
             )
         dip = matching[0]
-        record.dips.remove(dip)
-        if record.assigned_switch is not None:
-            target = (
-                host_address(dip.server_id) if self.virtualized
-                else dip.addr
-            )
-            self.switch_agents[record.assigned_switch].remove_dip(
-                vip_addr, target
-            )
-        for smux in self.smuxes:
-            smux.set_vip(
-                vip_addr,
-                record.encap_targets(self.virtualized),
-                record.encap_weights(),
-            )
-        agent = self.host_agents[dip.server_id]
-        agent.unregister_dip(dip.addr)
-        del self._dip_to_server[dip.addr]
+        with self._journal_op(
+            "remove_dip", {"vip": vip_addr, "dip": dip_addr}
+        ):
+            record.dips.remove(dip)
+            if record.assigned_switch is not None:
+                target = (
+                    host_address(dip.server_id) if self.virtualized
+                    else dip.addr
+                )
+                self.switch_agents[record.assigned_switch].remove_dip(
+                    vip_addr, target
+                )
+            for smux in self.smuxes:
+                smux.set_vip(
+                    vip_addr,
+                    record.encap_targets(self.virtualized),
+                    record.encap_weights(),
+                )
+            agent = self.host_agents[dip.server_id]
+            agent.unregister_dip(dip.addr)
+            del self._dip_to_server[dip.addr]
 
     def dip_failure(self, vip_addr: int, dip_addr: int) -> None:
         """"The Duet controller monitors DIP health and removes failed
@@ -537,22 +749,23 @@ class DuetController:
         to the SMuxes (converged state).  Returns the affected VIPs."""
         if switch_index in self._failed_switches:
             return []
-        self._failed_switches.add(switch_index)
-        agent = self.switch_agents[switch_index]
-        affected = agent.hmux.vips()
-        agent.fail()
-        for vip_addr in affected:
-            record = self._records[vip_addr]
-            record.assigned_switch = None
-            # Reconcile the stored assignment too: the sticky rebalance
-            # diffs against it, and a mapping to the dead switch would
-            # make the displaced VIP look already-placed — it would
-            # never be re-programmed after the switch recovers.
-            if self.assignment is not None:
-                vip_id = record.vip.vip_id
-                self.assignment.vip_to_switch.pop(vip_id, None)
-                if vip_id not in self.assignment.unassigned:
-                    self.assignment.unassigned.append(vip_id)
+        with self._journal_op("fail_switch", {"switch": switch_index}):
+            self._failed_switches.add(switch_index)
+            agent = self.switch_agents[switch_index]
+            affected = agent.hmux.vips()
+            agent.fail()
+            for vip_addr in affected:
+                record = self._records[vip_addr]
+                record.assigned_switch = None
+                # Reconcile the stored assignment too: the sticky rebalance
+                # diffs against it, and a mapping to the dead switch would
+                # make the displaced VIP look already-placed — it would
+                # never be re-programmed after the switch recovers.
+                if self.assignment is not None:
+                    vip_id = record.vip.vip_id
+                    self.assignment.vip_to_switch.pop(vip_id, None)
+                    if vip_id not in self.assignment.unassigned:
+                        self.assignment.unassigned.append(vip_id)
         return affected
 
     def recover_switch(self, switch_index: int) -> None:
@@ -580,7 +793,8 @@ class DuetController:
             raise ControllerError(
                 f"switch {switch_index} recovered with residual state"
             )
-        self._failed_switches.discard(switch_index)
+        with self._journal_op("recover_switch", {"switch": switch_index}):
+            self._failed_switches.discard(switch_index)
 
     def fail_smux(self, smux_id: int) -> None:
         """"SMux failure ... Switches detect SMux failure through BGP,
@@ -590,9 +804,10 @@ class DuetController:
             raise ControllerError(f"unknown SMux {smux_id}")
         if not alive:
             raise ControllerError("cannot fail the last SMux")
-        ref = MuxRef.smux(smux_id)
-        self.route_table.withdraw_all(ref)
-        self.smuxes = alive
+        with self._journal_op("fail_smux", {"smux": smux_id}):
+            ref = MuxRef.smux(smux_id)
+            self.route_table.withdraw_all(ref)
+            self.smuxes = alive
 
     def add_smux(self) -> SMux:
         """Scale out the backstop: stand up a new SMux, program *every*
@@ -600,24 +815,27 @@ class DuetController:
         a route must never attract traffic the mux cannot serve).
         SMux ids are never reused: lingering state on a crashed instance
         must not be mistaken for the new one."""
-        smux = SMux(
-            self._next_smux_id,
-            SMUX_POOL.network + self._next_smux_id,
-            hash_seed=self.hash_seed,
-        )
-        self._next_smux_id += 1
-        for record in self._records.values():
-            smux.set_vip(
-                record.addr,
-                record.encap_targets(self.virtualized),
-                record.encap_weights(),
+        smux_id = self._next_smux_id
+        with self._journal_op("add_smux", {"smux_id": smux_id}):
+            smux = SMux(
+                smux_id,
+                SMUX_POOL.network + smux_id,
+                hash_seed=self.hash_seed,
             )
-            for port, pool in record.vip.port_pools:
-                smux.set_vip_port(record.addr, port, list(pool))
-        self.smuxes.append(smux)
-        ref = MuxRef.smux(smux.smux_id)
-        for aggregate in SMUX_AGGREGATES:
-            self.route_table.announce(aggregate, ref)
+            self._next_smux_id = smux_id + 1
+            for addr in sorted(self._records):
+                record = self._records[addr]
+                smux.set_vip(
+                    record.addr,
+                    record.encap_targets(self.virtualized),
+                    record.encap_weights(),
+                )
+                for port, pool in record.vip.port_pools:
+                    smux.set_vip_port(record.addr, port, list(pool))
+            self.smuxes.append(smux)
+            ref = MuxRef.smux(smux.smux_id)
+            for aggregate in SMUX_AGGREGATES:
+                self.route_table.announce(aggregate, ref)
         return smux
 
     def cut_link(self, link_index: int, *, bidirectional: bool = True) -> List[int]:
@@ -628,19 +846,22 @@ class DuetController:
         the affected VIPs fall to the SMuxes.  Returns the switches
         promoted to failed."""
         link = self.topology.links[link_index]
-        self._failed_links.add(link_index)
-        if bidirectional:
-            self._failed_links.add(
-                self.topology.link_between(link.dst, link.src).index
+        with self._journal_op(
+            "cut_link", {"link": link_index, "bidirectional": bidirectional}
+        ):
+            self._failed_links.add(link_index)
+            if bidirectional:
+                self._failed_links.add(
+                    self.topology.link_between(link.dst, link.src).index
+                )
+            scenario = FailureScenario(
+                name="link-cut",
+                failed_switches=frozenset(self._failed_switches),
+                failed_links=frozenset(self._failed_links),
             )
-        scenario = FailureScenario(
-            name="link-cut",
-            failed_switches=frozenset(self._failed_switches),
-            failed_links=frozenset(self._failed_links),
-        )
-        promoted = sorted(isolated_switches(self.topology, scenario))
-        for switch_index in promoted:
-            self.fail_switch(switch_index)
+            promoted = sorted(isolated_switches(self.topology, scenario))
+            for switch_index in promoted:
+                self.fail_switch(switch_index)
         return promoted
 
     def restore_link(self, link_index: int, *, bidirectional: bool = True) -> None:
@@ -648,11 +869,15 @@ class DuetController:
         stay failed until :meth:`recover_switch` — physical connectivity
         returning does not mean the switch rejoined BGP."""
         link = self.topology.links[link_index]
-        self._failed_links.discard(link_index)
-        if bidirectional:
-            self._failed_links.discard(
-                self.topology.link_between(link.dst, link.src).index
-            )
+        with self._journal_op(
+            "restore_link",
+            {"link": link_index, "bidirectional": bidirectional},
+        ):
+            self._failed_links.discard(link_index)
+            if bidirectional:
+                self._failed_links.discard(
+                    self.topology.link_between(link.dst, link.src).index
+                )
 
     # -- end-to-end forwarding (for tests/examples) ------------------------------------
 
@@ -743,26 +968,38 @@ class DuetController:
 
         record = self._require(vip_addr)
         manager = self._snat_managers.get(vip_addr)
-        if manager is None:
-            manager = SnatPortManager(vip_addr)
-            self._snat_managers[vip_addr] = manager
-        dip_addrs = record.dip_addrs()
-        for dip in record.dips:
-            from repro.dataplane.hostagent import SnatConfig
-
-            port_range = manager.allocate(dip.addr)
-            self.host_agents[dip.server_id].configure_snat(
-                dip.addr,
-                SnatConfig(
-                    vip=vip_addr,
-                    n_slots=len(dip_addrs),
-                    my_slots=slots_of_dip(
-                        dip_addrs, dip.addr, hash_seed=self.hash_seed
-                    ),
-                    port_range=port_range.as_tuple(),
-                    hash_seed=self.hash_seed,
-                ),
+        probe = manager if manager is not None else SnatPortManager(vip_addr)
+        # Validate exhaustion before journaling: each allocation takes
+        # min(range_size, remaining), so n allocations need
+        # (n-1)*range_size + 1 ports.  A journaled op must not fail
+        # partway — replay treats its intent as fully applied.
+        needed = (len(record.dips) - 1) * probe.range_size + 1
+        if probe.remaining_ports < needed:
+            raise ControllerError(
+                f"SNAT port space of VIP {format_ip(vip_addr)} cannot "
+                f"cover {len(record.dips)} DIPs"
             )
+        with self._journal_op("enable_snat", {"vip": vip_addr}):
+            if manager is None:
+                manager = probe
+                self._snat_managers[vip_addr] = manager
+            dip_addrs = record.dip_addrs()
+            for dip in record.dips:
+                from repro.dataplane.hostagent import SnatConfig
+
+                port_range = manager.allocate(dip.addr)
+                self.host_agents[dip.server_id].configure_snat(
+                    dip.addr,
+                    SnatConfig(
+                        vip=vip_addr,
+                        n_slots=len(dip_addrs),
+                        my_slots=slots_of_dip(
+                            dip_addrs, dip.addr, hash_seed=self.hash_seed
+                        ),
+                        port_range=port_range.as_tuple(),
+                        hash_seed=self.hash_seed,
+                    ),
+                )
 
     def grant_snat_range(self, vip_addr: int, dip_addr: int):
         """Hand a port-exhausted HA another disjoint range ("If an HA
@@ -784,20 +1021,27 @@ class DuetController:
                 f"{format_ip(dip_addr)} is not a DIP of {format_ip(vip_addr)}"
             )
         dip = matching[0]
-        port_range = manager.allocate(dip_addr)
-        dip_addrs = record.dip_addrs()
-        self.host_agents[dip.server_id].configure_snat(
-            dip.addr,
-            SnatConfig(
-                vip=vip_addr,
-                n_slots=len(dip_addrs),
-                my_slots=slots_of_dip(
-                    dip_addrs, dip.addr, hash_seed=self.hash_seed
+        if manager.remaining_ports < 1:
+            raise ControllerError(
+                f"SNAT port space of VIP {format_ip(vip_addr)} exhausted"
+            )
+        with self._journal_op(
+            "grant_snat_range", {"vip": vip_addr, "dip": dip_addr}
+        ):
+            port_range = manager.allocate(dip_addr)
+            dip_addrs = record.dip_addrs()
+            self.host_agents[dip.server_id].configure_snat(
+                dip.addr,
+                SnatConfig(
+                    vip=vip_addr,
+                    n_slots=len(dip_addrs),
+                    my_slots=slots_of_dip(
+                        dip_addrs, dip.addr, hash_seed=self.hash_seed
+                    ),
+                    port_range=port_range.as_tuple(),
+                    hash_seed=self.hash_seed,
                 ),
-                port_range=port_range.as_tuple(),
-                hash_seed=self.hash_seed,
-            ),
-        )
+            )
         return port_range
 
     # -- datacenter monitoring (S6, Figure 9) -------------------------------------------
@@ -806,8 +1050,14 @@ class DuetController:
         """Aggregate per-VIP byte counters from every host agent — the
         "traffic metering" feed of the monitoring module."""
         totals: Dict[int, int] = {}
-        for agent in self.host_agents.values():
-            for vip_addr, (_packets, size) in agent.traffic_report().items():
+        # Sorted iteration: the result dict's key order (and thus every
+        # downstream consumer) is identical across runs and across a
+        # journal-restored controller, whose host_agents dict was built
+        # in a different insertion order.
+        for server in sorted(self.host_agents):
+            report = self.host_agents[server].traffic_report()
+            for vip_addr in sorted(report):
+                _packets, size = report[vip_addr]
                 totals[vip_addr] = totals.get(vip_addr, 0) + size
         return totals
 
@@ -837,8 +1087,13 @@ class DuetController:
         """DIP health across the fleet ("It receives the VIP health
         status periodically from the host agents")."""
         health: Dict[int, bool] = {}
-        for agent in self.host_agents.values():
-            health.update(agent.health_report())
+        # Sorted for the same reason as collect_traffic_reports: bit-
+        # reproducible iteration order regardless of how the host_agents
+        # dict was populated (boot order vs recovery order).
+        for server in sorted(self.host_agents):
+            report = self.host_agents[server].health_report()
+            for dip_addr in sorted(report):
+                health[dip_addr] = report[dip_addr]
         return health
 
     def reap_failed_dips(self) -> List[int]:
@@ -852,8 +1107,9 @@ class DuetController:
             if healthy:
                 continue
             record = next(
-                (r for r in self._records.values()
-                 if any(d.addr == dip_addr for d in r.dips)),
+                (self._records[addr] for addr in sorted(self._records)
+                 if any(d.addr == dip_addr
+                        for d in self._records[addr].dips)),
                 None,
             )
             if record is None or len(record.dips) <= 1:

@@ -106,6 +106,37 @@ class SnatPortManager:
                     return dip
         return None
 
+    def to_state(self) -> Dict:
+        """JSON-safe dump for the controller's journal snapshots.  Held
+        ranges keep their insertion order — a restored manager must hand
+        out the same next range as a never-crashed one."""
+        return {
+            "vip": self.vip,
+            "range_size": self.range_size,
+            "floor": self.floor,
+            "ceil": self.ceil,
+            "next": self._next,
+            "held": [
+                [dip, [r.as_tuple() for r in ranges]]
+                for dip, ranges in self._held.items()
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict) -> "SnatPortManager":
+        manager = cls(
+            state["vip"],
+            range_size=state["range_size"],
+            floor=state["floor"],
+            ceil=state["ceil"],
+        )
+        manager._next = state["next"]
+        manager._held = {
+            dip: [PortRange(lo, hi) for lo, hi in ranges]
+            for dip, ranges in state["held"]
+        }
+        return manager
+
     def validate_disjoint(self) -> bool:
         """True iff no two held ranges overlap (invariant check)."""
         all_ranges = sorted(

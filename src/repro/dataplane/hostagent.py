@@ -215,6 +215,12 @@ class HostAgent:
         self._snat_configs[dip] = config
         self._used_ports.setdefault(dip, set())
 
+    def snat_config_of(self, dip: int) -> Optional[SnatConfig]:
+        """The config currently pushed for ``dip`` (None if SNAT is not
+        set up) — lets the controller's reconciler audit staleness
+        without re-pushing."""
+        return self._snat_configs.get(dip)
+
     def open_outbound(
         self, dip: int, remote_ip: int, remote_port: int, protocol: int
     ) -> SnatLease:

@@ -1,0 +1,498 @@
+"""Durability: write-ahead journal, crash-restart recovery, anti-entropy.
+
+The journal protocol tests exercise :class:`WriteAheadJournal` directly;
+the recovery tests build a live controller via the chaos harness, drive
+it through mutating ops, kill it (warm or cold, at boundaries or inside
+ops), and hold the restored-and-reconciled controller to
+:func:`controller_fingerprint` equality with a never-crashed twin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.chaos.engine import ChaosConfig, ChaosEngine, build_controller
+from repro.core.controller import DuetController, SimulatedCrash
+from repro.durability import (
+    AntiEntropyReconciler,
+    JournalError,
+    WriteAheadJournal,
+    controller_fingerprint,
+    harvest_dataplane,
+)
+from repro.net.addressing import Prefix
+from repro.net.failures import FaultModel
+from repro.workload.vips import Dip
+
+
+def make_controller(seed: int = 11, n_vips: int = 12) -> DuetController:
+    return build_controller(ChaosConfig(seed=seed, n_vips=n_vips))
+
+
+def journaled_controller(seed: int = 11, interval: int = 64):
+    controller = make_controller(seed)
+    journal = WriteAheadJournal()
+    controller.attach_journal(journal, snapshot_interval=interval)
+    return controller, journal
+
+
+def restore_warm(controller: DuetController) -> DuetController:
+    restored = DuetController.restore(
+        controller.journal,
+        dataplane=harvest_dataplane(controller),
+        topology=controller.topology,
+    )
+    AntiEntropyReconciler(restored).converge()
+    return restored
+
+
+# ---------------------------------------------------------------------------
+# Journal protocol
+# ---------------------------------------------------------------------------
+
+class TestJournalProtocol:
+    def test_append_then_commit(self):
+        journal = WriteAheadJournal()
+        seq = journal.append("add_vip", {"vip": 1})
+        assert journal.uncommitted() and journal.ops_since_snapshot == 1
+        journal.commit(seq, {"assigned": 3})
+        assert not journal.uncommitted()
+        kinds = [r["type"] for r in journal.records()]
+        assert kinds == ["op", "commit"]
+
+    def test_commit_of_unknown_seq_raises(self):
+        journal = WriteAheadJournal()
+        with pytest.raises(JournalError):
+            journal.commit(0)
+
+    def test_double_commit_raises(self):
+        journal = WriteAheadJournal()
+        seq = journal.append("x", {})
+        journal.commit(seq)
+        with pytest.raises(JournalError):
+            journal.commit(seq)
+
+    def test_snapshot_refuses_inflight_op(self):
+        journal = WriteAheadJournal()
+        journal.append("x", {})
+        with pytest.raises(JournalError):
+            journal.write_snapshot({"s": 1})
+        # force is the post-recovery escape hatch: the state already
+        # absorbed the rolled-forward tail.
+        journal.write_snapshot({"s": 1}, force=True)
+        assert journal.snapshot == {"s": 1}
+
+    def test_snapshot_truncates_tail(self):
+        journal = WriteAheadJournal()
+        for i in range(4):
+            journal.commit(journal.append("op", {"i": i}))
+        journal.write_snapshot({"s": 2})
+        assert journal.tail() == []
+        assert journal.ops_since_snapshot == 0
+        assert journal.ops_appended == 4  # lifetime counter survives
+        assert journal.records_truncated == 8
+
+    def test_meta_written_once(self):
+        journal = WriteAheadJournal()
+        journal.set_meta({"hash_seed": 1})
+        with pytest.raises(JournalError):
+            journal.set_meta({"hash_seed": 2})
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        journal = WriteAheadJournal()
+        journal.set_meta({"hash_seed": 7})
+        journal.commit(journal.append("a", {"x": 1}), {"y": 2})
+        journal.write_snapshot({"s": 3})
+        journal.append("b", {"z": 4})  # interrupted op, no commit
+        path = str(tmp_path / "journal.jsonl")
+        journal.save(path)
+        loaded = WriteAheadJournal.load(path)
+        assert loaded.records() == journal.records()
+        assert loaded.meta == {"hash_seed": 7}
+        assert [r["op"] for r in loaded.uncommitted()] == ["b"]
+        # Sequence numbering continues past everything on disk.
+        assert loaded.append("c", {}) > 1
+
+    def test_rejects_garbage_lines(self):
+        with pytest.raises(JournalError):
+            WriteAheadJournal.from_lines(["not json"])
+        with pytest.raises(JournalError):
+            WriteAheadJournal.from_lines(['{"type": "martian"}'])
+
+
+# ---------------------------------------------------------------------------
+# Restore: warm, cold, roll-forward
+# ---------------------------------------------------------------------------
+
+def _mutate(controller: DuetController) -> None:
+    """A representative run of journaled mutations."""
+    addrs = sorted(controller.records())
+    controller.enable_snat(addrs[0])
+    controller.fail_switch(0)
+    controller.add_smux()
+    controller.rebalance()
+    record = controller.records()[addrs[1]]
+    if len(record.dips) > 1:
+        controller.remove_dip(addrs[1], record.dips[-1].addr)
+    controller.recover_switch(0)
+
+
+class TestRestore:
+    def test_warm_restore_equals_live(self):
+        controller, _ = journaled_controller()
+        _mutate(controller)
+        want = controller_fingerprint(controller)
+        restored = restore_warm(controller)
+        assert controller_fingerprint(restored) == want
+
+    def test_cold_restore_converges_to_intent(self):
+        controller, _ = journaled_controller()
+        _mutate(controller)
+        want = controller_fingerprint(controller)
+        cold = DuetController.restore(controller.journal)
+        report = AntiEntropyReconciler(cold).converge()
+        assert report.converged and report.n_repairs > 0
+        assert AntiEntropyReconciler(cold).diff() == []
+        assert controller_fingerprint(cold) == want
+
+    def test_snapshot_interval_bounds_tail(self):
+        controller, journal = journaled_controller(interval=2)
+        _mutate(controller)
+        assert journal.ops_since_snapshot < 2
+        assert journal.snapshots_written > 1
+        want = controller_fingerprint(controller)
+        assert controller_fingerprint(restore_warm(controller)) == want
+
+    def test_rollforward_interrupted_add_dip(self):
+        """Crashing at each fault point inside add_dip must roll the op
+        forward: the restored controller matches a twin that completed
+        the same add_dip without crashing."""
+        for crash_at in (1, 2, 3):
+            crashed = make_controller(seed=23)
+            twin = make_controller(seed=23)
+            crashed.attach_journal(WriteAheadJournal())
+            addr = sorted(crashed.records())[0]
+            dip_addr = max(
+                d.addr for r in crashed.records().values() for d in r.dips
+            ) + 1
+            server = crashed.records()[addr].dips[0].server_id
+            new_dip = Dip(
+                addr=dip_addr, server_id=server,
+                tor=crashed.topology.server_tor(server),
+            )
+            state = {"n": crash_at}
+
+            def hook(label: str) -> bool:
+                state["n"] -= 1
+                return state["n"] <= 0
+
+            crashed.set_crash_hook(hook)
+            with pytest.raises(SimulatedCrash):
+                crashed.add_dip(addr, new_dip)
+            assert crashed.journal.uncommitted()
+            restored = restore_warm(crashed)
+            twin.add_dip(addr, new_dip)
+            assert (
+                controller_fingerprint(restored)
+                == controller_fingerprint(twin)
+            ), f"crash point {crash_at}"
+
+    def test_rollforward_interrupted_plan(self):
+        """Crashing between plan steps inside rebalance rolls the whole
+        plan forward — the journaled plan replays, never the heuristics."""
+        crashed = make_controller(seed=31)
+        twin = make_controller(seed=31)
+        crashed.attach_journal(WriteAheadJournal())
+        for c in (crashed, twin):
+            c.fail_switch(1)
+        state = {"n": 2}
+
+        def hook(label: str) -> bool:
+            state["n"] -= 1
+            return state["n"] <= 0
+
+        crashed.set_crash_hook(hook)
+        try:
+            crashed.recover_switch(1)
+            crashed.rebalance()
+        except SimulatedCrash:
+            pass
+        else:
+            pytest.skip("no plan step reached a crash point")
+        restored = restore_warm(crashed)
+        twin.recover_switch(1)
+        twin.rebalance()
+        assert controller_fingerprint(restored) == controller_fingerprint(twin)
+
+    def test_smux_id_high_water_mark_survives_restore(self):
+        """SMux ids are never reused, even across a crash-restart that
+        loses the live fleet objects."""
+        controller, _ = journaled_controller(seed=5)
+        ids_before = [s.smux_id for s in controller.smuxes]
+        controller.fail_smux(ids_before[0])
+        controller.add_smux()
+        grown = [s.smux_id for s in controller.smuxes]
+        assert max(grown) == max(ids_before) + 1
+        restored = restore_warm(controller)
+        assert [s.smux_id for s in restored.smuxes] == grown
+        restored.add_smux()
+        new_id = max(s.smux_id for s in restored.smuxes)
+        assert new_id == max(grown) + 1
+        assert ids_before[0] not in {s.smux_id for s in restored.smuxes}
+
+    def test_snat_grants_survive_restore(self):
+        controller, _ = journaled_controller(seed=9)
+        addr = sorted(controller.records())[2]
+        controller.enable_snat(addr)
+        record = controller.records()[addr]
+        controller.grant_snat_range(addr, record.dips[0].addr)
+        want = controller.snat_managers()[addr].to_state()
+        restored = restore_warm(controller)
+        assert restored.snat_managers()[addr].to_state() == want
+        # The next allocation continues where the dead controller's
+        # manager stopped — ranges stay disjoint across incarnations.
+        restored.grant_snat_range(addr, record.dips[0].addr)
+        assert restored.snat_managers()[addr].validate_disjoint()
+
+
+# ---------------------------------------------------------------------------
+# Unwind sweep: a fault at every op index leaves the switch clean
+# ---------------------------------------------------------------------------
+
+class FaultAtCall(FaultModel):
+    """Fault exactly on the Nth programming call (1-based), once."""
+
+    def __init__(self, n: int) -> None:
+        self.n = n
+        self.calls = 0
+
+    def attempt(self, op: str, switch_index: int, vip: int) -> bool:
+        self.calls += 1
+        return self.calls == self.n
+
+
+def _switch_view(controller, agent, addr):
+    from repro.durability.reconcile import _hmux_table_fingerprint
+
+    return (
+        _hmux_table_fingerprint(agent),
+        controller.route_table.announcers(Prefix.host(addr)),
+    )
+
+
+def _pooled_record(controller):
+    """An assigned record augmented with two port pools, so one
+    programming pass is three faultable ops."""
+    addr, record = next(
+        (a, r) for a, r in sorted(controller.records().items())
+        if r.assigned_switch is not None and len(r.dips) >= 2
+    )
+    dips = record.dip_addrs()
+    record.vip = replace(
+        record.vip,
+        port_pools=((80, (dips[0],)), (443, tuple(dips[:2]))),
+    )
+    return addr, record
+
+
+class TestUnwindSweep:
+    def test_unwind_at_every_op_index_is_clean_and_idempotent(self):
+        controller = make_controller(seed=17)
+        addr, record = _pooled_record(controller)
+        agent = controller.switch_agents[record.assigned_switch]
+        agent.remove_vip(addr)
+        clean = _switch_view(controller, agent, addr)
+        targets = record.encap_targets(controller.virtualized)
+        ops = [
+            lambda: agent.add_vip(addr, targets, record.encap_weights()),
+            lambda: agent.add_vip_port_rules(
+                addr, [record.vip.port_pools[0]]
+            ),
+            lambda: agent.add_vip_port_rules(
+                addr, [record.vip.port_pools[1]]
+            ),
+        ]
+        for installed in range(len(ops) + 1):
+            for op in ops[:installed]:
+                op()
+            unwinds_before = controller.programming_stats.unwinds
+            controller._unwind_partial_vip(agent, record.vip)
+            assert _switch_view(controller, agent, addr) == clean, (
+                f"unwind after {installed} ops left residue"
+            )
+            controller._unwind_partial_vip(agent, record.vip)
+            assert _switch_view(controller, agent, addr) == clean, (
+                f"double unwind after {installed} ops not idempotent"
+            )
+            assert controller.programming_stats.unwinds == unwinds_before + 2
+
+    def test_retry_after_fault_at_every_op_index_converges(self):
+        """Whichever op the transient fault hits, the retry starts from
+        a clean switch and the final programmed state is identical to a
+        never-faulted run."""
+        reference = make_controller(seed=17)
+        ref_addr, ref_record = _pooled_record(reference)
+        ref_agent = reference.switch_agents[ref_record.assigned_switch]
+        ref_agent.remove_vip(ref_addr)
+        assert reference._program_vip_with_retry(
+            ref_record, ref_record.vip, ref_record.assigned_switch
+        )
+        want = _switch_view(reference, ref_agent, ref_addr)
+        for fault_at in (1, 2, 3):
+            controller = make_controller(seed=17)
+            addr, record = _pooled_record(controller)
+            agent = controller.switch_agents[record.assigned_switch]
+            agent.remove_vip(addr)
+            controller.set_fault_model(FaultAtCall(fault_at))
+            stats = controller.programming_stats
+            faults_before = stats.transient_faults
+            assert controller._program_vip_with_retry(
+                record, record.vip, record.assigned_switch
+            ), f"fault at op {fault_at} never recovered"
+            assert stats.transient_faults == faults_before + 1
+            assert stats.unwinds >= 1
+            assert _switch_view(controller, agent, addr) == want, (
+                f"fault at op {fault_at} changed the converged state"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Stats: snapshot aggregation and monotonicity
+# ---------------------------------------------------------------------------
+
+STAT_KEYS = (
+    "attempts", "retries", "transient_faults", "degraded",
+    "skipped_dead_switch", "backoff_s", "unwinds",
+    "reconcile_rounds", "reconcile_repairs",
+    "journal_ops", "journal_snapshots",
+)
+
+
+class TestStats:
+    def test_snapshot_has_every_counter(self):
+        controller, _ = journaled_controller()
+        snap = controller.stats_snapshot()
+        assert set(snap) == set(STAT_KEYS)
+
+    def test_snapshot_monotone_under_ops(self):
+        controller, _ = journaled_controller()
+        before = controller.stats_snapshot()
+        _mutate(controller)
+        after = controller.stats_snapshot()
+        assert all(after[k] >= before[k] for k in STAT_KEYS)
+        assert after["journal_ops"] > before["journal_ops"]
+
+    def test_engine_totals_survive_crashes(self):
+        """Per-incarnation ProgrammingStats die with each crash; the
+        engine's totals must keep counting across all of them."""
+        config = ChaosConfig(seed=4, n_events=90, n_vips=10, crash_prob=0.1)
+        engine = ChaosEngine(config)
+        report = engine.run()
+        assert report.ok, report.violations[:3]
+        assert report.crashes > 0
+        totals = report.stats
+        live = engine.controller.stats_snapshot()
+        assert all(totals[k] >= live[k] for k in STAT_KEYS)
+        assert totals["reconcile_rounds"] >= report.crashes
+        # Journal counters are lifetime values of the one shared
+        # journal, not per-incarnation — totals must not double-count.
+        assert totals["journal_ops"] == engine.controller.journal.ops_appended
+
+
+# ---------------------------------------------------------------------------
+# Deterministic iteration of health/traffic collection and reaping
+# ---------------------------------------------------------------------------
+
+class TestDeterministicCollection:
+    def test_reports_are_twin_stable(self):
+        """Iteration order is fixed (sorted servers, sorted keys within
+        each server's report), so twin controllers emit identical
+        orderings — no set-iteration nondeterminism."""
+        a = make_controller(seed=2)
+        b = make_controller(seed=2)
+        assert list(a.collect_health_reports()) == list(
+            b.collect_health_reports()
+        )
+        assert list(a.collect_traffic_reports()) == list(
+            b.collect_traffic_reports()
+        )
+
+    def test_reap_failed_dips_twin_stable(self):
+        a = make_controller(seed=2)
+        b = make_controller(seed=2)
+        doomed = []
+        for addr in sorted(a.records())[:3]:
+            record = a.records()[addr]
+            if len(record.dips) > 1:
+                doomed.append((record.dips[0].server_id, record.dips[0].addr))
+        for c in (a, b):
+            for server, dip in doomed:
+                c.host_agents[server].set_health(dip, False)
+            c.reap_failed_dips()
+        assert controller_fingerprint(a) == controller_fingerprint(b)
+
+
+# ---------------------------------------------------------------------------
+# Engine-agnostic recovery: batch caches stay coherent across a crash
+# ---------------------------------------------------------------------------
+
+class TestBatchEngineRecovery:
+    def test_batch_cache_invalidates_across_crash_restore(self):
+        """A BatchHMux built before the crash wraps the surviving HMux
+        object; reconciliation bumps ``layout_version``, so the stale
+        cache must rebuild and agree with a fresh engine."""
+        import numpy as np
+
+        from repro.dataplane.batch import BatchHMux, FlowBatch
+        from repro.dataplane.packet import make_tcp_packet
+        from repro.workload.vips import CLIENT_POOL
+
+        controller, _ = journaled_controller(seed=13)
+        index, agent = next(
+            (i, a) for i, a in sorted(controller.switch_agents.items())
+            if a.hmux.vips()
+        )
+        vips = sorted(agent.hmux.vips())
+        packets = [
+            make_tcp_packet(
+                CLIENT_POOL.network + 0x900 + i, vip, 40000 + i, 80
+            )
+            for i, vip in enumerate(vips * 3)
+        ]
+        stale = BatchHMux(agent.hmux)
+        stale.process(FlowBatch.from_packets(packets))  # warm the cache
+        version_before = agent.hmux.layout_version
+        # Kill the controller inside an add_dip so recovery has real
+        # drift (an interrupted bounce) to roll forward and repair.
+        addr = vips[0]
+        record = controller.records()[addr]
+        dip_addr = max(
+            d.addr for r in controller.records().values() for d in r.dips
+        ) + 1
+        server = record.dips[0].server_id
+        state = {"n": 2}
+
+        def hook(label: str) -> bool:
+            state["n"] -= 1
+            return state["n"] <= 0
+
+        controller.set_crash_hook(hook)
+        with pytest.raises(SimulatedCrash):
+            controller.add_dip(addr, Dip(
+                addr=dip_addr, server_id=server,
+                tor=controller.topology.server_tor(server),
+            ))
+        restored = restore_warm(controller)
+        survivor = restored.switch_agents[index].hmux
+        assert survivor is agent.hmux  # warm restore adopts the object
+        assert survivor.layout_version > version_before
+        live = [p for p in packets if survivor.has_vip(p.flow.dst_ip)]
+        if not live:
+            pytest.skip("reconciliation moved every probe VIP off-switch")
+        fresh = BatchHMux(survivor)
+        got_stale = stale.process(FlowBatch.from_packets(live))
+        got_fresh = fresh.process(FlowBatch.from_packets(live))
+        assert np.array_equal(got_stale.target, got_fresh.target)
+        assert np.array_equal(got_stale.action, got_fresh.action)
