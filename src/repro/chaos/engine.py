@@ -202,6 +202,9 @@ class ChaosArtifact:
     events: List[Dict[str, Any]]
     violation_step: int
     violations: List[str]
+    #: Top-N (series, delta) pairs over the run up to the violation —
+    #: the telemetry context needed to debug the artifact.
+    metric_deltas: List[Tuple[str, float]] = field(default_factory=list)
 
     def to_json(self) -> str:
         return json.dumps({
@@ -209,6 +212,9 @@ class ChaosArtifact:
             "events": self.events,
             "violation_step": self.violation_step,
             "violations": self.violations,
+            "metric_deltas": [
+                [name, delta] for name, delta in self.metric_deltas
+            ],
         }, indent=2)
 
     def save(self, path: str) -> None:
@@ -224,6 +230,10 @@ class ChaosArtifact:
             events=data["events"],
             violation_step=data["violation_step"],
             violations=list(data["violations"]),
+            metric_deltas=[
+                (name, delta)
+                for name, delta in data.get("metric_deltas", ())
+            ],
         )
 
 
@@ -240,6 +250,8 @@ class ChaosReport:
     traces: List[StepTrace]
     crashes: int = 0
     stats: Dict[str, float] = field(default_factory=dict)
+    #: Top-N (series, delta) pairs across the whole run.
+    metric_deltas: List[Tuple[str, float]] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -266,7 +278,34 @@ class ChaosEngine:
         self.generator = EventGenerator(
             self.controller, seed=config.seed ^ 0x5EED
         )
-        self.checker = InvariantChecker(self.controller)
+        # Telemetry: a per-run registry + recorder.  The instrumentation
+        # handle survives crash-restarts (rebind in _do_crash) so
+        # cumulative series like duet_forwarded_packets_total span every
+        # controller incarnation, and the invariant battery gets the
+        # registry for its conservation-law checks.
+        from repro.obs import MetricsRegistry, Recorder, instrument_controller
+
+        self.registry = MetricsRegistry()
+        self.instrumentation = instrument_controller(
+            self.controller, self.registry,
+        )
+        self.recorder = Recorder(
+            self.registry, capacity=max(2, config.n_events + 1),
+        )
+        self._chaos_crashes = self.registry.counter(
+            "duet_chaos_crashes_total",
+            "Controller crash-restarts injected by the chaos engine",
+        )
+        self._chaos_events = self.registry.counter(
+            "duet_chaos_events_total",
+            "Chaos events applied, by kind", ("kind",),
+        )
+        self.registry.register_collector(
+            "chaos", lambda reg: self._chaos_crashes.set_total(self.crashes),
+        )
+        self.checker = InvariantChecker(
+            self.controller, registry=self.registry,
+        )
         self.tracker = FlowAffinityTracker(
             self.controller,
             seed=config.seed,
@@ -345,6 +384,7 @@ class ChaosEngine:
         self.generator.controller = restored
         self.checker.controller = restored
         self.tracker.controller = restored
+        self.instrumentation.rebind(restored)
         self._armed = None
         self.crashes += 1
 
@@ -374,6 +414,7 @@ class ChaosEngine:
         event_counts: Dict[str, int] = {}
         first_violation_step: Optional[int] = None
         artifact: Optional[ChaosArtifact] = None
+        self.recorder.tick()  # the pre-chaos baseline observation
         step = 0
         while True:
             event = self._next_event(step)
@@ -401,8 +442,13 @@ class ChaosEngine:
             event_counts[event.kind.value] = (
                 event_counts.get(event.kind.value, 0) + 1
             )
+            self._chaos_events.labels(event.kind.value).inc()
             self.tracker.note(event)
             violations = self.checker.check() + self.tracker.check()
+            # Observe AFTER the checkers: their probe packets are then in
+            # the mux high-watermarks before the next event can wipe a
+            # mux, keeping the cumulative forwarded series complete.
+            self.recorder.tick()
             traces.append(StepTrace(step, event, violations))
             if violations:
                 all_violations.extend(violations)
@@ -413,6 +459,7 @@ class ChaosEngine:
                         events=[e.to_dict() for e in applied],
                         violation_step=step,
                         violations=[str(v) for v in violations],
+                        metric_deltas=self.recorder.top_deltas(10),
                     )
                 if self.config.stop_on_violation:
                     break
@@ -427,6 +474,7 @@ class ChaosEngine:
             traces=traces,
             crashes=self.crashes,
             stats=self.stats_totals(),
+            metric_deltas=self.recorder.top_deltas(10),
         )
 
 

@@ -62,10 +62,16 @@ class InvariantChecker:
     """Stateless invariants over the controller's current state."""
 
     def __init__(
-        self, controller: DuetController, probes_per_vip: int = 2
+        self,
+        controller: DuetController,
+        probes_per_vip: int = 2,
+        registry=None,
     ) -> None:
         self.controller = controller
         self.probes_per_vip = probes_per_vip
+        #: Optional :class:`repro.obs.registry.MetricsRegistry` — when
+        #: set, the battery also asserts the metric conservation laws.
+        self.registry = registry
 
     def check(self) -> List[Violation]:
         violations: List[Violation] = []
@@ -77,6 +83,7 @@ class InvariantChecker:
         violations += self.check_consistency()
         violations += self.check_snat_disjoint()
         violations += self.check_intent_matches_dataplane()
+        violations += self.check_metrics_conservation()
         return violations
 
     # -- individual invariants ---------------------------------------------
@@ -288,6 +295,22 @@ class InvariantChecker:
                     f"SNAT manager for removed VIP {format_ip(vip_addr)}",
                 ))
         return violations
+
+    def check_metrics_conservation(self) -> List[Violation]:
+        """Conservation laws computed purely from the metrics registry
+        (no controller state): per mux, ``packets_total`` must equal the
+        sum of its per-VIP attribution, and fleet-wide deliveries can
+        never exceed the cumulative forwarded count.  Skipped (empty)
+        when no registry is wired in."""
+        if self.registry is None:
+            return []
+        from repro.obs.instrument import conservation_violations
+
+        self.registry.collect()
+        return [
+            Violation("metrics-conservation", detail)
+            for detail in conservation_violations(self.registry)
+        ]
 
 
 @dataclass

@@ -163,6 +163,46 @@ def _build_parser() -> argparse.ArgumentParser:
                                          "(from chaos --journal)")
     recover.add_argument("--max-rounds", type=int, default=5,
                          help="anti-entropy convergence round limit")
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="run a scenario under the telemetry recorder and export "
+             "the metric series",
+    )
+    metrics.add_argument(
+        "--scenario",
+        choices=["quickstart", "hmux-capacity", "failover", "migration",
+                 "smux-failure"],
+        default="quickstart",
+    )
+    metrics.add_argument("--export", choices=["prom", "jsonl", "both"],
+                         default="prom", dest="export_format",
+                         help="Prometheus text, JSON lines, or both")
+    metrics.add_argument("--out", metavar="PATH", default=None,
+                         help="write the export here instead of stdout "
+                              "(used as a prefix for --export both)")
+    metrics.add_argument("--seed", type=int, default=0)
+    metrics.add_argument("--vips", type=int, default=24,
+                         help="quickstart scenario: number of VIPs")
+    metrics.add_argument("--flows", type=int, default=2,
+                         help="quickstart scenario: flows forwarded per VIP")
+
+    trace = sub.add_parser(
+        "trace",
+        help="trace one VIP migration end to end and print the causal "
+             "span tree",
+    )
+    trace.add_argument("--vips", type=int, default=24)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--json", action="store_true",
+                       help="emit spans as JSON lines instead of the tree")
+    trace.add_argument("--tap", action="store_true",
+                       help="also sample forwarded packets and print their "
+                            "hop-by-hop decap/encap paths")
+    trace.add_argument("--tap-every", type=int, default=1, metavar="N",
+                       help="sample every Nth forwarded packet")
+    trace.add_argument("--out", metavar="PATH", default=None,
+                       help="write the output here instead of stdout")
     return parser
 
 
@@ -246,13 +286,11 @@ def _cmd_topology(containers: int, tors: int, aggs: int, cores: int,
     return 0
 
 
-def _cmd_quickstart(n_vips: int, seed: int) -> int:
-    from repro.analysis import format_si
-    from repro.core import (
-        DuetController,
-        ananta_smux_count,
-        duet_provisioning,
-    )
+def _build_quickstart_controller(n_vips: int, seed: int):
+    """The ``quickstart`` deployment: a 4-container FatTree, a generated
+    population, a controller with its initial assignment installed.
+    Returns ``(controller, assignment)``."""
+    from repro.core import DuetController
     from repro.net.topology import FatTreeParams, Topology
     from repro.workload import generate_population
 
@@ -267,6 +305,16 @@ def _cmd_quickstart(n_vips: int, seed: int) -> int:
     )
     controller = DuetController(topology, population, n_smuxes=2)
     assignment = controller.run_initial_assignment()
+    return controller, assignment
+
+
+def _cmd_quickstart(n_vips: int, seed: int) -> int:
+    from repro.analysis import format_si
+    from repro.core import ananta_smux_count, duet_provisioning
+
+    controller, assignment = _build_quickstart_controller(n_vips, seed)
+    topology = controller.topology
+    population = controller.population
     duet = duet_provisioning(assignment, topology)
     ananta = ananta_smux_count(population.total_traffic_bps)
     print(f"{topology}")
@@ -392,6 +440,10 @@ def _cmd_chaos(args) -> int:
               f"{stats['reconcile_repairs']:g} repairs, "
               f"{stats['journal_ops']:g} journaled ops, "
               f"{stats['journal_snapshots']:g} snapshots)")
+    if report.metric_deltas:
+        print("top metric deltas over the soak:")
+        for name, delta in report.metric_deltas:
+            print(f"  {delta:+12g}  {name}")
     if args.journal is not None:
         engine.controller.journal.save(args.journal)
         print(f"write-ahead journal -> {args.journal} "
@@ -414,6 +466,173 @@ def _cmd_chaos(args) -> int:
     print(f"reproduction artifact -> {artifact_path} "
           f"(replay with: python -m repro chaos --replay {artifact_path})")
     return 1
+
+
+def _drive_quickstart_traffic(controller, recorder, flows_per_vip: int) -> None:
+    """Forward a deterministic burst of client flows through the live
+    deployment, ticking the recorder as the burst progresses so the
+    time series has real movement in it."""
+    from repro.core.controller import ControllerError
+    from repro.dataplane.packet import make_tcp_packet
+    from repro.workload.vips import CLIENT_POOL
+
+    index = 0
+    for vip_addr in sorted(controller.records()):
+        for _ in range(flows_per_vip):
+            packet = make_tcp_packet(
+                CLIENT_POOL.network + 0x2000 + (index % 0x3FFF),
+                vip_addr, 30000 + (index % 20000), 80,
+            )
+            try:
+                controller.forward(packet)
+            except ControllerError:
+                pass
+            index += 1
+        if index % 64 == 0:
+            recorder.tick()
+    recorder.tick()
+
+
+def _cmd_metrics(args) -> int:
+    from repro.obs import (
+        MetricsRegistry,
+        Recorder,
+        conservation_violations,
+        instrument_controller,
+        render_prometheus,
+        render_registry_jsonl,
+    )
+
+    if args.export_format == "both" and args.out is None:
+        print("--export both needs --out (used as the file prefix)",
+              file=sys.stderr)
+        return 2
+
+    registry = MetricsRegistry()
+    recorder = Recorder(registry, capacity=4096)
+    if args.scenario == "quickstart":
+        controller, _ = _build_quickstart_controller(args.vips, args.seed)
+        instrument_controller(controller, registry)
+        recorder.tick()
+        _drive_quickstart_traffic(controller, recorder, args.flows)
+    else:
+        import dataclasses
+
+        from repro.sim import scenarios
+
+        drivers = {
+            "hmux-capacity": (scenarios.HMuxCapacityConfig,
+                              scenarios.run_hmux_capacity),
+            "failover": (scenarios.FailoverConfig, scenarios.run_failover),
+            "migration": (scenarios.MigrationConfig, scenarios.run_migration),
+            "smux-failure": (scenarios.SmuxFailureConfig,
+                             scenarios.run_smux_failure),
+        }
+        config_cls, driver = drivers[args.scenario]
+        driver(dataclasses.replace(config_cls(), seed=args.seed),
+               recorder=recorder)
+    registry.collect()
+
+    violations = conservation_violations(registry)
+    if violations:
+        for violation in violations:
+            print(f"conservation violated: {violation}", file=sys.stderr)
+        return 1
+
+    exports = []  # (suffix, text)
+    if args.export_format in ("prom", "both"):
+        exports.append((".prom", render_prometheus(registry)))
+    if args.export_format in ("jsonl", "both"):
+        lines = render_registry_jsonl(registry)
+        exports.append((".jsonl", "\n".join(lines) + "\n" if lines else ""))
+
+    if args.out is None:
+        # Stdout carries ONLY the export so it can be piped straight
+        # into the validator or a scrape endpoint.
+        for _, text in exports:
+            sys.stdout.write(text)
+        return 0
+    import pathlib
+
+    for suffix, text in exports:
+        path = pathlib.Path(args.out)
+        if args.export_format == "both":
+            path = path.with_name(path.name + suffix)
+        path.write_text(text, encoding="utf-8")
+        print(f"{args.scenario}: {len(registry.samples())} samples, "
+              f"{len(recorder.series_keys())} recorded series -> {path}")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.core.controller import ControllerError
+    from repro.dataplane.packet import make_tcp_packet
+    from repro.durability import WriteAheadJournal
+    from repro.net.addressing import format_ip
+    from repro.obs import PacketTap, Tracer
+    from repro.workload.vips import CLIENT_POOL
+
+    controller, _ = _build_quickstart_controller(args.vips, args.seed)
+    controller.attach_journal(WriteAheadJournal())
+    tracer = Tracer()
+    controller.attach_tracer(tracer)
+    tap = None
+    if args.tap:
+        tap = PacketTap(sample_every=max(1, args.tap_every))
+        controller.attach_tap(tap)
+
+    # Pick the first HMux-assigned VIP and walk it to a different switch.
+    records = controller.records()
+    vip_addr = next(
+        (addr for addr in sorted(records)
+         if records[addr].assigned_switch is not None),
+        None,
+    )
+    if vip_addr is None:
+        print("no VIP is HMux-assigned; nothing to migrate", file=sys.stderr)
+        return 2
+    from_switch = records[vip_addr].assigned_switch
+    to_switch = next(
+        index for index in sorted(controller.switch_agents)
+        if index != from_switch and index not in controller.failed_switches
+    )
+    assigned = controller.migrate_vip(vip_addr, to_switch)
+
+    if tap is not None:
+        for index in range(8):
+            packet = make_tcp_packet(
+                CLIENT_POOL.network + 0x1000 + index, vip_addr,
+                41000 + index, 80,
+            )
+            try:
+                controller.forward(packet)
+            except ControllerError:
+                break
+
+    lines = [
+        f"migrate {format_ip(vip_addr)}: switch {from_switch} -> "
+        f"{to_switch} (now on "
+        f"{'SMux only' if assigned is None else f'switch {assigned}'})",
+        "",
+    ]
+    if args.json:
+        lines = list(tracer.to_json_lines())
+        if tap is not None:
+            lines.extend(tap.to_json_lines())
+    else:
+        lines.append(tracer.render())
+        if tap is not None:
+            lines.append("")
+            lines.append(tap.render())
+    text = "\n".join(lines) + "\n"
+    if args.out is None:
+        sys.stdout.write(text)
+    else:
+        import pathlib
+
+        pathlib.Path(args.out).write_text(text, encoding="utf-8")
+        print(f"trace ({len(tracer.spans())} spans) -> {args.out}")
+    return 0
 
 
 def _cmd_recover(args) -> int:
@@ -478,6 +697,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_chaos(args)
     if args.command == "recover":
         return _cmd_recover(args)
+    if args.command == "metrics":
+        return _cmd_metrics(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

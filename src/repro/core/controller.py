@@ -49,6 +49,7 @@ from repro.net.failures import (
     isolated_switches,
 )
 from repro.net.topology import Topology
+from repro.obs.tracing import maybe_span, span_attrs, trace_event
 from repro.workload.vips import (
     SMUX_AGGREGATES,
     SMUX_POOL,
@@ -117,6 +118,9 @@ class SwitchAgent:
         self.route_table = route_table
         self.mux_ref = MuxRef.hmux(switch_index)
         self.fault_model = fault_model
+        # Set by DuetController.attach_tracer; every hook is a no-op
+        # while this stays None.
+        self.tracer = None
 
     def _check_fault(self, op: str, vip: int) -> None:
         if self.fault_model is not None and self.fault_model.attempt(
@@ -134,15 +138,31 @@ class SwitchAgent:
         weights: Optional[Sequence[float]] = None,
     ) -> None:
         """Program the tables, then announce the /32 (make-before-break)."""
-        self._check_fault("program_vip", vip)
-        self.hmux.program_vip(vip, encap_ips, weights)
-        self.route_table.announce(Prefix.host(vip), self.mux_ref)
+        with maybe_span(
+            self.tracer, "hmux.program",
+            switch=self.switch_index, vip=format_ip(vip),
+        ):
+            self._check_fault("program_vip", vip)
+            self.hmux.program_vip(vip, encap_ips, weights)
+            trace_event(
+                self.tracer, "bgp.announce",
+                vip=format_ip(vip), mux=str(self.mux_ref),
+            )
+            self.route_table.announce(Prefix.host(vip), self.mux_ref)
 
     def remove_vip(self, vip: int) -> None:
         """Withdraw the /32 first (traffic falls to SMux), then free the
         tables — the stepping-stone order of S4.2."""
-        self.route_table.withdraw(Prefix.host(vip), self.mux_ref)
-        self.hmux.remove_vip(vip)
+        with maybe_span(
+            self.tracer, "hmux.remove",
+            switch=self.switch_index, vip=format_ip(vip),
+        ):
+            trace_event(
+                self.tracer, "bgp.withdraw",
+                vip=format_ip(vip), mux=str(self.mux_ref),
+            )
+            self.route_table.withdraw(Prefix.host(vip), self.mux_ref)
+            self.hmux.remove_vip(vip)
 
     def add_vip_port_rules(
         self,
@@ -171,6 +191,10 @@ class SwitchAgent:
         really is lost with the switch, so a later recovery starts from
         an empty HMux.  Returns the number of routes withdrawn."""
         withdrawn = self.route_table.withdraw_all(self.mux_ref)
+        trace_event(
+            self.tracer, "bgp.withdraw_all",
+            mux=str(self.mux_ref), routes=withdrawn,
+        )
         self.hmux.reset()
         return withdrawn
 
@@ -246,6 +270,11 @@ class DuetController:
         self._journal_depth = 0
         self._snapshot_interval = 64
         self._crash_hook = None
+        # Observability plumbing (see repro.obs): a tracer wraps every
+        # outermost mutating op in a span, a tap samples forwarded flows.
+        # Both stay None — zero overhead — until attached.
+        self._tracer = None
+        self._tap = None
 
         self.switch_agents: Dict[int, SwitchAgent] = {
             s.index: SwitchAgent(
@@ -380,21 +409,58 @@ class DuetController:
         at the outermost level: replay mirrors the nesting.
         """
         effects: Dict[str, Any] = {}
-        if self._journal is None or self._journal_depth > 0:
+        if self._journal_depth > 0:
+            # Nested op: neither journaled nor given its own root span
+            # (it runs inside the outer op's span, so any switch-agent
+            # spans it opens still land in the right causal tree).
             self._journal_depth += 1
             try:
                 yield effects
             finally:
                 self._journal_depth -= 1
             return
-        seq = self._journal.append(op, params)
-        self._journal_depth += 1
-        try:
-            yield effects
-        finally:
-            self._journal_depth -= 1
-        self._journal.commit(seq, effects or None)
-        self._maybe_snapshot()
+        with maybe_span(self._tracer, f"op:{op}", **span_attrs(params)):
+            if self._journal is None:
+                self._journal_depth += 1
+                try:
+                    yield effects
+                finally:
+                    self._journal_depth -= 1
+                return
+            seq = self._journal.append(op, params)
+            trace_event(self._tracer, "journal.append", op=op, seq=seq)
+            self._journal_depth += 1
+            try:
+                yield effects
+            finally:
+                self._journal_depth -= 1
+            self._journal.commit(seq, effects or None)
+            trace_event(self._tracer, "journal.commit", op=op, seq=seq)
+            self._maybe_snapshot()
+
+    # -- observability (tracing + packet tap) -------------------------------------
+
+    @property
+    def tracer(self):
+        return self._tracer
+
+    @property
+    def tap(self):
+        return self._tap
+
+    def attach_tracer(self, tracer) -> None:
+        """Trace every outermost mutating op (and the switch agents'
+        program/announce/withdraw steps) into ``tracer``; pass None to
+        detach."""
+        self._tracer = tracer
+        for agent in self.switch_agents.values():
+            agent.tracer = tracer
+
+    def attach_tap(self, tap) -> None:
+        """Record hop-by-hop paths of sampled :meth:`forward` packets
+        into ``tap`` (a :class:`repro.obs.tracing.PacketTap`); None
+        detaches."""
+        self._tap = tap
 
     def set_crash_hook(self, hook) -> None:
         """Install a callable fired at op-internal crash points; when it
@@ -700,6 +766,74 @@ class DuetController:
                     self._degrade_and_reconcile(record)
             effects["assigned"] = record.assigned_switch
 
+    def migrate_vip(self, vip_addr: int, to_switch: int) -> Optional[int]:
+        """Move one VIP to a specific switch through the SMux stepping
+        stone (the S4.2 migration, as a single operator-invocable op):
+        withdraw from the current HMux (traffic falls to the SMux
+        aggregates with connection state intact), then program + announce
+        on the target.  A degraded/SMux-only VIP migrates too — the
+        withdraw phase is simply empty.
+
+        Returns where the VIP actually landed (``to_switch``, or None
+        when programming failed and the VIP stayed on the backstop).
+        """
+        record = self._require(vip_addr)
+        if to_switch not in self.switch_agents:
+            raise ControllerError(f"unknown switch {to_switch}")
+        if to_switch in self._failed_switches:
+            raise ControllerError(
+                f"cannot migrate {format_ip(vip_addr)} to failed "
+                f"switch {to_switch}"
+            )
+        from_switch = record.assigned_switch
+        if from_switch == to_switch:
+            return from_switch
+        vip = record.vip
+        tracer = self._tracer
+        params = {"vip": vip_addr, "from": from_switch, "to": to_switch}
+        with self._journal_op("migrate_vip", params) as effects:
+            if from_switch is not None:
+                with maybe_span(
+                    tracer, "migrate.withdraw", switch=from_switch,
+                ):
+                    self._crash_point("migrate:withdraw")
+                    agent = self.switch_agents[from_switch]
+                    if agent.hmux.has_vip(vip_addr):
+                        if vip.port_pools:
+                            agent.remove_vip_port_rules(
+                                vip_addr,
+                                [port for port, _ in vip.port_pools],
+                            )
+                        agent.remove_vip(vip_addr)
+                    record.assigned_switch = None
+            # Stepping stone: between withdraw and reprogram the SMux
+            # aggregates carry the VIP (S4.2) — record which mux.
+            with maybe_span(
+                tracer, "migrate.smux_transit",
+                backstop=str(self.route_table.resolve(vip_addr, 0)),
+            ):
+                self._crash_point("migrate:transit")
+            with maybe_span(tracer, "migrate.reprogram", switch=to_switch):
+                self._crash_point("migrate:reprogram")
+                if to_switch in self._failed_switches:
+                    # Unreachable from the front door (validated above)
+                    # but kept for replay: the switch may have failed
+                    # between journal append and roll-forward.
+                    self.programming_stats.skipped_dead_switch += 1
+                    self._degrade_and_reconcile(record)
+                elif self._program_vip_with_retry(record, vip, to_switch):
+                    record.assigned_switch = to_switch
+                    self.degraded_vips.discard(vip_addr)
+                    if self.assignment is not None:
+                        vip_id = vip.vip_id
+                        self.assignment.vip_to_switch[vip_id] = to_switch
+                        if vip_id in self.assignment.unassigned:
+                            self.assignment.unassigned.remove(vip_id)
+                else:
+                    self._degrade_and_reconcile(record)
+            effects["assigned"] = record.assigned_switch
+        return record.assigned_switch
+
     def remove_dip(self, vip_addr: int, dip_addr: int) -> None:
         """DIP removal / failure (S5.1-S5.2): resilient hashing on the
         HMux keeps other connections intact; SMuxes drop only the dead
@@ -888,9 +1022,12 @@ class DuetController:
         Returns (packet as the server sees it, the mux that handled it).
         """
         from repro.dataplane.hashing import five_tuple_hash
+        from repro.obs.tracing import PacketTap
 
+        tap_record = None if self._tap is None else self._tap.begin(packet.flow)
         flow_hash = five_tuple_hash(packet.flow, self.hash_seed ^ 0xECC)
         mux = self.route_table.resolve(packet.flow.dst_ip, flow_hash)
+        PacketTap.hop(tap_record, "route.resolve", mux=str(mux))
         if mux.kind is MuxKind.HMUX:
             result = self.switch_agents[mux.ident].hmux.process(packet)
             encapped = result.packet
@@ -911,6 +1048,11 @@ class DuetController:
                 )
             encapped = maybe
         target = encapped.outer[0].dst_ip
+        PacketTap.hop(
+            tap_record,
+            "hmux.encap" if mux.kind is MuxKind.HMUX else "smux.encap",
+            mux=str(mux), target=format_ip(target),
+        )
         if self.virtualized:
             from repro.workload.vips import HOST_POOL
 
@@ -922,6 +1064,7 @@ class DuetController:
         else:
             server = self._dip_to_server[target]
         delivered = self.host_agents[server].receive(encapped)
+        PacketTap.hop(tap_record, "host.decap", server=server)
         return delivered, mux
 
     def rebalance(

@@ -523,5 +523,13 @@ class BatchSMux:
         counters.drops_no_vip += n - n_hit
         if n_hit:
             counters.bytes += int(batch.size_bytes[matched].sum())
+            # Port-pool rows attribute to the owning VIP, which is the
+            # packet's dst_ip in both pool kinds — same as the scalar path.
+            per_vip = counters.per_vip_packets
+            vips, counts = np.unique(
+                batch.dst_ip[matched], return_counts=True,
+            )
+            for vip, count in zip(vips.tolist(), counts.tolist()):
+                per_vip[vip] = per_vip.get(vip, 0) + count
 
         return BatchSMuxResult(batch=batch, dip=dip, smux_ip=self.smux.smux_ip)

@@ -51,10 +51,14 @@ class SMuxCounters:
     bytes: int = 0
     drops_no_vip: int = 0
     connections: int = 0
+    # Per-VIP breakdown, mirroring HMuxCounters: backstop traffic must be
+    # visible to the per-VIP metering that feeds the assignment engine.
+    per_vip_packets: Dict[int, int] = field(default_factory=dict)
 
-    def count(self, size_bytes: int) -> None:
+    def count(self, vip: int, size_bytes: int) -> None:
         self.packets += 1
         self.bytes += size_bytes
+        self.per_vip_packets[vip] = self.per_vip_packets.get(vip, 0) + 1
 
 
 @dataclass
@@ -287,7 +291,7 @@ class SMux:
             self._connections[packet.flow] = dip
             self._conn_version += 1
             self.counters.connections += 1
-        self.counters.count(packet.size_bytes)
+        self.counters.count(vip, packet.size_bytes)
         return packet.encapsulate(self.smux_ip, dip)
 
     def connection_count(self) -> int:

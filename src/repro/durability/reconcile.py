@@ -63,19 +63,28 @@ class AntiEntropyReconciler:
 
     def converge(self) -> ReconcileReport:
         """Repair drift in bounded rounds; stops at a zero-repair round."""
+        from repro.obs.tracing import maybe_span
+
+        tracer = getattr(self.controller, "_tracer", None)
         stats = self.controller.programming_stats
         repairs: List[str] = []
         rounds = 0
         made: List[str] = []
-        while rounds < self.max_rounds:
-            rounds += 1
-            stats.reconcile_rounds += 1
-            made = self._run_round(repair=True)
-            stats.reconcile_repairs += len(made)
-            repairs.extend(made)
-            if not made:
-                break
-        self.controller.checkpoint()
+        with maybe_span(tracer, "reconcile.converge"):
+            while rounds < self.max_rounds:
+                rounds += 1
+                stats.reconcile_rounds += 1
+                with maybe_span(
+                    tracer, "reconcile.round", round=rounds,
+                ) as span:
+                    made = self._run_round(repair=True)
+                    if span is not None:
+                        span.attrs["repairs"] = len(made)
+                stats.reconcile_repairs += len(made)
+                repairs.extend(made)
+                if not made:
+                    break
+            self.controller.checkpoint()
         return ReconcileReport(
             rounds=rounds, repairs=repairs, converged=not made,
         )

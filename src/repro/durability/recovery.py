@@ -314,6 +314,35 @@ class IntentState:
                 iv.assigned = switch
                 self.degraded.discard(iv.vip.addr)
 
+    def _apply_migrate_vip(self, params, effects, committed) -> None:
+        iv = self.records[params["vip"]]
+        if committed:
+            assigned = effects.get("assigned")
+            if assigned is not None:
+                self._assign_migrated(iv, assigned)
+            else:
+                self._degrade_outside_plan(iv)
+        else:
+            # Died mid-migration: roll forward to the op's target —
+            # unless the intent knows that switch is dead, in which case
+            # the VIP degrades exactly as the interrupted op would have.
+            target = params["to"]
+            if target in self.failed_switches:
+                self._degrade_outside_plan(iv)
+            else:
+                self._assign_migrated(iv, target)
+
+    # Mirror of migrate_vip's success bookkeeping (placement + stored
+    # assignment).
+    def _assign_migrated(self, iv: IntentVip, switch: int) -> None:
+        iv.assigned = switch
+        self.degraded.discard(iv.vip.addr)
+        if self.assignment_map is not None:
+            vip_id = iv.vip.vip_id
+            self.assignment_map[vip_id] = switch
+            if vip_id in self.unassigned:
+                self.unassigned.remove(vip_id)
+
     def _apply_remove_dip(self, params, effects, committed) -> None:
         iv = self.records[params["vip"]]
         for dip in iv.dips:
@@ -469,6 +498,8 @@ def restore_controller(
     c._journal_depth = 0
     c._snapshot_interval = meta.get("snapshot_interval", 64)
     c._crash_hook = None
+    c._tracer = None
+    c._tap = None
 
     if dataplane is None:
         c.route_table = VipRouteTable()

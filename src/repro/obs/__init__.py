@@ -1,0 +1,69 @@
+"""Observability: metrics registry, recorder, tracing, taps, exporters."""
+
+from repro.obs.export import (
+    render_prometheus,
+    render_recorder_jsonl,
+    render_registry_jsonl,
+    validate_prometheus_text,
+)
+from repro.obs.instrument import (
+    DEFAULT_PREFIX,
+    ControllerInstrumentation,
+    conservation_violations,
+    instrument_controller,
+    instrument_hmux,
+    instrument_smux,
+)
+from repro.obs.registry import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    Recorder,
+    RingBuffer,
+    Sample,
+    format_series,
+)
+from repro.obs.tracing import (
+    PacketTap,
+    Span,
+    TapRecord,
+    Tracer,
+    TracingError,
+    maybe_span,
+    span_attrs,
+    trace_event,
+)
+
+__all__ = [
+    "ControllerInstrumentation",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "DEFAULT_PREFIX",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "PacketTap",
+    "Recorder",
+    "RingBuffer",
+    "Sample",
+    "Span",
+    "TapRecord",
+    "Tracer",
+    "TracingError",
+    "conservation_violations",
+    "format_series",
+    "instrument_controller",
+    "instrument_hmux",
+    "instrument_smux",
+    "maybe_span",
+    "render_prometheus",
+    "render_recorder_jsonl",
+    "render_registry_jsonl",
+    "span_attrs",
+    "trace_event",
+    "validate_prometheus_text",
+]

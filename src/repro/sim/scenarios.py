@@ -87,6 +87,17 @@ class _MuxFleet:
 #: so probe spreading is not polarized with the mux ECMP layer).
 _PROBE_HASH_SEED = 0xECC
 
+#: RTT histogram buckets for scenario probes (testbed RTTs run from
+#: ~100 µs on an HMux to milliseconds on an overloaded SMux).
+_PROBE_RTT_BUCKETS = (
+    0.0002, 0.0005, 0.001, 0.002, 0.005, 0.01, 0.025, 0.05,
+)
+
+#: Scrape cadence while probing: one recorder tick per this many
+#: lockstep rounds (plus a final tick), so a long scenario yields a
+#: bounded time series instead of one point per probe.
+_RECORDER_TICK_EVERY = 256
+
 
 def _run_probes(
     targets: Sequence[Tuple[str, int]],
@@ -99,6 +110,7 @@ def _run_probes(
     interval_s: float = 0.003,
     seed: int = 0,
     engine: str = "batch",
+    recorder=None,
 ) -> Dict[str, PingSeries]:
     """Drive probes to all targets through the (shared, mutating) route
     table in one merged time order, so every series sees the same
@@ -111,6 +123,12 @@ def _run_probes(
     vectorized pass and never builds packet objects.  Both engines make
     identical RNG draws in identical order, so their results are
     bit-for-bit the same — the golden figure tests assert this.
+
+    An optional :class:`repro.obs.registry.Recorder` turns the probe
+    stream into registry series (probe counts per serving mux, drop
+    counts, an RTT histogram per target) scraped every
+    ``_RECORDER_TICK_EVERY`` lockstep rounds.  The instrumentation
+    touches no RNG, so results are identical with and without it.
     """
     if engine not in ("scalar", "batch"):
         raise ValueError(f"unknown probe engine: {engine!r}")
@@ -120,6 +138,24 @@ def _run_probes(
         (label, vip, PingProbe(vip, interval_s, seed=seed ^ (vip << 1)))
         for label, vip in targets
     ]
+    if recorder is not None:
+        registry = recorder.registry
+        m_probes = registry.counter(
+            "duet_scenario_probes_total",
+            "Scenario probes answered, by target and serving mux",
+            ("target", "mux"),
+        )
+        m_drops = registry.counter(
+            "duet_scenario_probe_drops_total",
+            "Scenario probes lost, by target", ("target",),
+        )
+        m_rtt = registry.histogram(
+            "duet_scenario_rtt_seconds",
+            "Scenario probe round-trip time, by target", ("target",),
+            buckets=_PROBE_RTT_BUCKETS,
+        )
+    else:
+        m_probes = m_drops = m_rtt = None
 
     def probe_once(label: str, vip: int, t: float, flow_hash: int) -> None:
         control.advance(t)
@@ -128,17 +164,24 @@ def _run_probes(
             mux = route_table.resolve(vip, flow_hash)
         except RouteResolutionError:
             series[label].add(ProbeResult(t, None, "none"))
+            if m_drops is not None:
+                m_drops.labels(label).inc()
             return
         added = fleet.latency(mux, t, rng)
+        if added is not None:
+            drop_p = fleet.stations[mux].drop_probability_at(t)
+            if drop_p > 0.0 and rng.random() < drop_p:
+                added = None
         if added is None:
             series[label].add(ProbeResult(t, None, mux.kind.value))
-            return
-        drop_p = fleet.stations[mux].drop_probability_at(t)
-        if drop_p > 0.0 and rng.random() < drop_p:
-            series[label].add(ProbeResult(t, None, mux.kind.value))
+            if m_drops is not None:
+                m_drops.labels(label).inc()
             return
         rtt = TESTBED_NETWORK_RTT.sample(rng) + added
         series[label].add(ProbeResult(t, rtt, mux.kind.value))
+        if m_probes is not None:
+            m_probes.labels(label, mux.kind.value).inc()
+            m_rtt.labels(label).observe(rtt)
 
     if engine == "batch":
         # Resolve each stream's probe times and five-tuple hashes in one
@@ -164,6 +207,10 @@ def _run_probes(
                 if step < len(times):
                     probe_once(label, vip, float(times[step]),
                                int(hashes[step]))
+            if recorder is not None and step % _RECORDER_TICK_EVERY == 0:
+                recorder.tick()
+        if recorder is not None:
+            recorder.tick()
         return series
 
     streams = [
@@ -171,6 +218,7 @@ def _run_probes(
         for label, vip, prober in probers
     ]
     # All probes share the same cadence; step them in lockstep.
+    step = 0
     while streams:
         alive = []
         for label, vip, stream in streams:
@@ -182,7 +230,12 @@ def _run_probes(
                 label, vip, timed.time_s,
                 five_tuple_hash(timed.packet.flow, _PROBE_HASH_SEED),
             )
+        if recorder is not None and step % _RECORDER_TICK_EVERY == 0:
+            recorder.tick()
+        step += 1
         streams = alive
+    if recorder is not None:
+        recorder.tick()
     return series
 
 
@@ -207,7 +260,9 @@ class HMuxCapacityConfig:
     engine: str = "batch"  # probe fast path: "batch" or "scalar"
 
 
-def run_hmux_capacity(config: HMuxCapacityConfig = HMuxCapacityConfig()) -> ScenarioResult:
+def run_hmux_capacity(
+    config: HMuxCapacityConfig = HMuxCapacityConfig(), *, recorder=None,
+) -> ScenarioResult:
     """Reproduce Figure 11: per-probe latency over the three phases."""
     t1 = config.phase_seconds
     t2 = 2 * config.phase_seconds
@@ -246,7 +301,7 @@ def run_hmux_capacity(config: HMuxCapacityConfig = HMuxCapacityConfig()) -> Scen
         [("unloaded-vip", vip)], route_table, fleet, control,
         start_s=0.0, end_s=t3,
         interval_s=config.probe_interval_s, seed=config.seed,
-        engine=config.engine,
+        engine=config.engine, recorder=recorder,
     )
     return ScenarioResult(
         series=series,
@@ -272,7 +327,9 @@ class FailoverConfig:
     engine: str = "batch"  # probe fast path: "batch" or "scalar"
 
 
-def run_failover(config: FailoverConfig = FailoverConfig()) -> ScenarioResult:
+def run_failover(
+    config: FailoverConfig = FailoverConfig(), *, recorder=None,
+) -> ScenarioResult:
     """Reproduce Figure 12: VIP1 on SMux, VIP2 on a healthy HMux, VIP3 on
     the HMux that dies at ``fail_at_s``."""
     route_table = VipRouteTable()
@@ -316,7 +373,7 @@ def run_failover(config: FailoverConfig = FailoverConfig()) -> ScenarioResult:
         route_table, fleet, control,
         start_s=0.0, end_s=end,
         interval_s=config.probe_interval_s, seed=config.seed,
-        engine=config.engine,
+        engine=config.engine, recorder=recorder,
     )
     return ScenarioResult(
         series=series,
@@ -342,7 +399,9 @@ class MigrationConfig:
     engine: str = "batch"  # probe fast path: "batch" or "scalar"
 
 
-def run_migration(config: MigrationConfig = MigrationConfig()) -> ScenarioResult:
+def run_migration(
+    config: MigrationConfig = MigrationConfig(), *, recorder=None,
+) -> ScenarioResult:
     """Reproduce Figure 13: make-before-break migration keeps every VIP
     answering probes throughout; only the serving mux (and hence the
     latency band) changes."""
@@ -391,7 +450,7 @@ def run_migration(config: MigrationConfig = MigrationConfig()) -> ScenarioResult
         route_table, fleet, control,
         start_s=0.0, end_s=end,
         interval_s=config.probe_interval_s, seed=config.seed,
-        engine=config.engine,
+        engine=config.engine, recorder=recorder,
     )
     return ScenarioResult(
         series=series,
@@ -419,7 +478,9 @@ class SmuxFailureConfig:
     engine: str = "batch"  # probe fast path: "batch" or "scalar"
 
 
-def run_smux_failure(config: SmuxFailureConfig = SmuxFailureConfig()) -> ScenarioResult:
+def run_smux_failure(
+    config: SmuxFailureConfig = SmuxFailureConfig(), *, recorder=None,
+) -> ScenarioResult:
     """One SMux of the fleet dies; a VIP served by SMuxes sees at most a
     convergence blip on the flows hashed to the dead instance, and a VIP
     on an HMux sees nothing."""
@@ -455,7 +516,7 @@ def run_smux_failure(config: SmuxFailureConfig = SmuxFailureConfig()) -> Scenari
         route_table, fleet, control,
         start_s=0.0, end_s=end,
         interval_s=config.probe_interval_s, seed=config.seed,
-        engine=config.engine,
+        engine=config.engine, recorder=recorder,
     )
     return ScenarioResult(
         series=series,

@@ -152,3 +152,34 @@ class TestCounters:
         assert smux.counters.packets == 4
         assert smux.counters.bytes == 4 * 1500
         assert smux.counters.connections == 4
+
+    def test_per_vip_packets(self, smux):
+        vip2 = parse_ip("10.0.0.2")
+        smux.set_vip(vip2, DIPS)
+        for i in range(5):
+            smux.process(packet(i))
+        for i in range(3):
+            smux.process(packet(i, vip=vip2))
+        assert smux.counters.per_vip_packets == {VIP: 5, vip2: 3}
+
+    def test_per_vip_packets_skips_drops(self, smux):
+        smux.process(packet(vip=parse_ip("10.0.0.9")))
+        assert smux.counters.per_vip_packets == {}
+
+    def test_per_vip_packets_batch_matches_scalar(self, smux):
+        from repro.dataplane.batch import BatchSMux, FlowBatch
+
+        twin = SMux(1, SMUX_IP)
+        twin.set_vip(VIP, DIPS)
+        vip2 = parse_ip("10.0.0.2")
+        smux.set_vip(vip2, DIPS)
+        twin.set_vip(vip2, DIPS)
+        packets = [packet(i, vip=VIP if i % 3 else vip2) for i in range(24)]
+        for p in packets:
+            smux.process(p)
+        BatchSMux(twin).process(FlowBatch.from_packets(packets))
+        assert twin.counters.per_vip_packets == smux.counters.per_vip_packets
+        assert all(
+            type(k) is int and type(v) is int
+            for k, v in twin.counters.per_vip_packets.items()
+        )
