@@ -31,6 +31,8 @@ from repro.workload.distributions import DipCountModel
 from repro.workload.vips import Dip, generate_population
 
 from repro.chaos.events import (
+    FORBIDDEN_IN_NO_ORACLE,
+    NO_ORACLE_WEIGHTS,
     ChaosEvent,
     EventGenerator,
     EventKind,
@@ -73,16 +75,30 @@ class ChaosConfig:
     # the next op (mid-plan / mid-add_dip).
     crash_prob: float = 0.0
     snapshot_interval: int = 32
+    # No-oracle mode: events mutate the health fault plane (silent
+    # switch/SMux death, gray failures) instead of calling controller
+    # lifecycle ops; remediation must come from the probe-driven
+    # detector.  ``monitor_rounds_per_step`` probe periods run after
+    # every event, and the HealthScorecard judges the loop against the
+    # fault plane's ground truth.
+    no_oracle: bool = False
+    monitor_rounds_per_step: int = 3
+    # Benign probe loss rate (exercises false-positive suppression).
+    background_loss: float = 0.0
+    # HealthConfig field overrides (JSON-serializable).
+    health: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
         data = asdict(self)
         data["broken_switches"] = list(self.broken_switches)
+        data["health"] = dict(self.health)
         return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "ChaosConfig":
         kwargs = dict(data)
         kwargs["broken_switches"] = tuple(kwargs.get("broken_switches", ()))
+        kwargs["health"] = dict(kwargs.get("health", {}))
         return cls(**kwargs)
 
 
@@ -180,6 +196,40 @@ def apply_event(controller: DuetController, event: ChaosEvent) -> None:
         raise ValueError(f"unhandled event kind {kind}")
 
 
+#: Event kinds that mutate the fault plane instead of the controller.
+FAULT_PLANE_KINDS = frozenset({
+    EventKind.SILENT_FAIL_SWITCH,
+    EventKind.SILENT_RECOVER_SWITCH,
+    EventKind.SILENT_FAIL_SMUX,
+    EventKind.SILENT_RECOVER_SMUX,
+    EventKind.GRAY_FAILURE,
+    EventKind.GRAY_RECOVER,
+})
+
+
+def apply_fault_event(fault_plane, event: ChaosEvent, t: float) -> None:
+    """Apply one no-oracle event to the fault plane at simulated time
+    ``t``.  The controller is deliberately not an argument: these events
+    must not be able to touch it."""
+    kind, params = event.kind, event.params
+    if kind is EventKind.SILENT_FAIL_SWITCH:
+        fault_plane.silent_fail_switch(params["switch"], t)
+    elif kind is EventKind.SILENT_RECOVER_SWITCH:
+        fault_plane.silent_recover_switch(params["switch"], t)
+    elif kind is EventKind.SILENT_FAIL_SMUX:
+        fault_plane.silent_fail_smux(params["smux"], t)
+    elif kind is EventKind.SILENT_RECOVER_SMUX:
+        fault_plane.silent_recover_smux(params["smux"], t)
+    elif kind is EventKind.GRAY_FAILURE:
+        fault_plane.inject_gray(
+            params["switch"], params["vip"], params["loss"], t
+        )
+    elif kind is EventKind.GRAY_RECOVER:
+        fault_plane.clear_gray(params["switch"], params["vip"], t)
+    else:  # pragma: no cover
+        raise ValueError(f"not a fault-plane event kind: {kind}")
+
+
 @dataclass
 class StepTrace:
     """One engine step: the event plus what the checkers said."""
@@ -252,6 +302,9 @@ class ChaosReport:
     stats: Dict[str, float] = field(default_factory=dict)
     #: Top-N (series, delta) pairs across the whole run.
     metric_deltas: List[Tuple[str, float]] = field(default_factory=list)
+    #: No-oracle runs only: HealthScorecard.stats() — detection counts,
+    #: latencies, false positives.
+    health: Optional[Dict[str, Any]] = None
 
     @property
     def ok(self) -> bool:
@@ -272,11 +325,26 @@ class ChaosEngine:
         self.config = config
         self.controller = build_controller(config)
         self._scripted = list(events) if events is not None else None
+        # No-oracle mode: faults go into a FaultPlane the controller
+        # never sees; the probe-driven HealthMonitor must find and fix
+        # them, and the HealthScorecard judges it against ground truth.
+        self.fault_plane = None
+        self.monitor = None
+        self.scorecard = None
+        if config.no_oracle:
+            from repro.health import FaultPlane
+
+            self.fault_plane = FaultPlane(
+                seed=config.seed, background_loss=config.background_loss,
+            )
         # Generator seed is derived from (not equal to) the config seed
         # so event sampling and population synthesis draw independent
         # streams.
         self.generator = EventGenerator(
-            self.controller, seed=config.seed ^ 0x5EED
+            self.controller,
+            seed=config.seed ^ 0x5EED,
+            weights=NO_ORACLE_WEIGHTS if config.no_oracle else None,
+            fault_plane=self.fault_plane,
         )
         # Telemetry: a per-run registry + recorder.  The instrumentation
         # handle survives crash-restarts (rebind in _do_crash) so
@@ -326,6 +394,26 @@ class ChaosEngine:
         self._armed: Optional[Dict[str, int]] = None
         self.crashes = 0
         self._stats_base: Dict[str, float] = {}
+        if config.no_oracle:
+            from repro.health import (
+                HealthConfig, HealthMonitor, HealthScorecard,
+            )
+
+            self.health_config = HealthConfig.from_dict(config.health)
+            self.monitor = HealthMonitor(
+                self.controller,
+                self.fault_plane,
+                self.health_config,
+                registry=self.registry,
+                seed=config.seed,
+            )
+            self.scorecard = HealthScorecard(
+                self.fault_plane,
+                self.monitor,
+                self.health_config,
+                registry=self.registry,
+            )
+            self._retired_smux_cursor = 0
 
     def _next_event(self, step: int) -> Optional[ChaosEvent]:
         if self._scripted is not None:
@@ -385,6 +473,8 @@ class ChaosEngine:
         self.checker.controller = restored
         self.tracker.controller = restored
         self.instrumentation.rebind(restored)
+        if self.monitor is not None:
+            self.monitor.rebind(restored)
         self._armed = None
         self.crashes += 1
 
@@ -406,6 +496,26 @@ class ChaosEngine:
             totals[key] = totals.get(key, 0) + value
         return totals
 
+    def _run_monitor_rounds(self) -> None:
+        """Advance the health loop ``monitor_rounds_per_step`` probe
+        periods.  A crash armed earlier may fire inside a detector-driven
+        remediation op here — that is the detect-under-crash scenario —
+        and the monitor survives the restart via :meth:`_do_crash`'s
+        rebind.  A crash still armed after the rounds lands on the
+        boundary instead of evaporating."""
+        for _ in range(self.config.monitor_rounds_per_step):
+            try:
+                self.monitor.run_round()
+            except SimulatedCrash:
+                self._do_crash()
+        if self._armed is not None:
+            self._do_crash()
+        # SMuxes the remediation loop removed can never fault again.
+        removed = self.monitor.remediation.removed_smuxes
+        for smux_id in removed[self._retired_smux_cursor:]:
+            self.fault_plane.retire_smux(smux_id, self.monitor.clock.now_s)
+        self._retired_smux_cursor = len(removed)
+
     def run(self) -> ChaosReport:
         self.tracker.prime()
         traces: List[StepTrace] = []
@@ -426,17 +536,35 @@ class ChaosEngine:
                     self._do_crash()
                 else:
                     self._arm_crash(during)
+            elif event.kind in FAULT_PLANE_KINDS:
+                if self.fault_plane is None:
+                    raise ValueError(
+                        f"{event.kind.value} requires no_oracle=True"
+                    )
+                apply_fault_event(
+                    self.fault_plane, event, self.monitor.clock.now_s
+                )
             else:
+                if (
+                    self.config.no_oracle
+                    and event.kind in FORBIDDEN_IN_NO_ORACLE
+                ):
+                    raise ValueError(
+                        f"{event.kind.value} is an oracle-style lifecycle "
+                        "op, forbidden in no-oracle mode"
+                    )
                 was_armed = self._armed is not None
                 try:
                     apply_event(self.controller, event)
                 except SimulatedCrash:
                     self._do_crash()
                 else:
-                    if was_armed:
+                    if was_armed and self.monitor is None:
                         # The op exposed fewer crash points than the
                         # armed countdown; the kill lands on the op
-                        # boundary instead of evaporating.
+                        # boundary instead of evaporating.  (In no-oracle
+                        # mode the armed crash stays live so it can fire
+                        # inside a detector-driven remediation op.)
                         self._do_crash()
             applied.append(event)
             event_counts[event.kind.value] = (
@@ -444,7 +572,11 @@ class ChaosEngine:
             )
             self._chaos_events.labels(event.kind.value).inc()
             self.tracker.note(event)
+            if self.monitor is not None:
+                self._run_monitor_rounds()
             violations = self.checker.check() + self.tracker.check()
+            if self.scorecard is not None:
+                violations = violations + self.scorecard.check(self.controller)
             # Observe AFTER the checkers: their probe packets are then in
             # the mux high-watermarks before the next event can wipe a
             # mux, keeping the cumulative forwarded series complete.
@@ -475,6 +607,9 @@ class ChaosEngine:
             crashes=self.crashes,
             stats=self.stats_totals(),
             metric_deltas=self.recorder.top_deltas(10),
+            health=(
+                self.scorecard.stats() if self.scorecard is not None else None
+            ),
         )
 
 

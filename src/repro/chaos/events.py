@@ -53,6 +53,18 @@ class EventKind(enum.Enum):
     #: exists to prove the invariant checker and the reproduction
     #: artifact actually work.
     SABOTAGE = "sabotage"
+    #: No-oracle faults: these mutate the health fault plane, never the
+    #: controller.  A silently failed switch keeps its routes announced
+    #: (a blackhole) until the probe-driven detector quarantines it.
+    SILENT_FAIL_SWITCH = "silent_fail_switch"
+    SILENT_RECOVER_SWITCH = "silent_recover_switch"
+    SILENT_FAIL_SMUX = "silent_fail_smux"
+    SILENT_RECOVER_SMUX = "silent_recover_smux"
+    #: Partial per-VIP loss on an otherwise-responsive switch.  Params:
+    #: ``{"switch": i, "vip": addr-or-None, "loss": rate}`` — a None vip
+    #: means the whole switch forwards lossily.
+    GRAY_FAILURE = "gray_failure"
+    GRAY_RECOVER = "gray_recover"
 
 
 @dataclass
@@ -95,6 +107,49 @@ DEFAULT_WEIGHTS: Dict[EventKind, float] = {
     EventKind.ENABLE_SNAT: 2.0,
     EventKind.CONTROLLER_CRASH: 0.0,
     EventKind.SABOTAGE: 0.0,
+    EventKind.SILENT_FAIL_SWITCH: 0.0,
+    EventKind.SILENT_RECOVER_SWITCH: 0.0,
+    EventKind.SILENT_FAIL_SMUX: 0.0,
+    EventKind.SILENT_RECOVER_SMUX: 0.0,
+    EventKind.GRAY_FAILURE: 0.0,
+    EventKind.GRAY_RECOVER: 0.0,
+}
+
+#: Controller lifecycle ops the engine may NOT call in no-oracle mode:
+#: detection must come from probes, so direct fail/recover mutations —
+#: and the oracle consumption of the health feed (REAP_DIPS) — are
+#: forbidden.  Link events are excluded too: a cut link's isolation
+#: side effects run through ``fail_switch`` internally.
+FORBIDDEN_IN_NO_ORACLE = frozenset({
+    EventKind.FAIL_SWITCH,
+    EventKind.RECOVER_SWITCH,
+    EventKind.FAIL_SMUX,
+    EventKind.REAP_DIPS,
+    EventKind.CUT_LINK,
+    EventKind.RESTORE_LINK,
+    EventKind.SABOTAGE,
+})
+
+#: Sampling weights for no-oracle runs: silent/gray faults replace the
+#: direct lifecycle mutations; operator churn (VIP/DIP lifecycle,
+#: rebalance) keeps racing the detector.
+NO_ORACLE_WEIGHTS: Dict[EventKind, float] = {
+    **{kind: 0.0 for kind in FORBIDDEN_IN_NO_ORACLE},
+    EventKind.SILENT_FAIL_SWITCH: 6.0,
+    EventKind.SILENT_RECOVER_SWITCH: 5.0,
+    EventKind.SILENT_FAIL_SMUX: 1.5,
+    EventKind.SILENT_RECOVER_SMUX: 1.0,
+    EventKind.GRAY_FAILURE: 5.0,
+    EventKind.GRAY_RECOVER: 4.0,
+    EventKind.DIP_DOWN: 4.0,
+    EventKind.DIP_UP: 3.0,
+    EventKind.ADD_SMUX: 1.0,
+    EventKind.ADD_VIP: 4.0,
+    EventKind.REMOVE_VIP: 2.0,
+    EventKind.ADD_DIP: 4.0,
+    EventKind.REMOVE_DIP: 3.0,
+    EventKind.REBALANCE: 4.0,
+    EventKind.ENABLE_SNAT: 1.0,
 }
 
 
@@ -118,8 +173,13 @@ class EventGenerator:
         max_smuxes: int = 6,
         max_cut_cables: int = 3,
         max_vips: Optional[int] = None,
+        fault_plane=None,
     ) -> None:
         self.controller = controller
+        #: A :class:`repro.health.faults.FaultPlane` in no-oracle runs;
+        #: the silent/gray builders read it for feasibility (never
+        #: silently fail an already-dead switch, only recover dead ones).
+        self.fault_plane = fault_plane
         self.rng = random.Random(seed)
         self.weights = dict(DEFAULT_WEIGHTS)
         if weights:
@@ -332,6 +392,100 @@ class EventGenerator:
             "vip": vip_addr,
             "dip": self.rng.choice(dips),
         })
+
+    # -- no-oracle builders (need a fault plane) ---------------------------
+
+    def _build_silent_fail_switch(self) -> Optional[ChaosEvent]:
+        fp, c = self.fault_plane, self.controller
+        if fp is None:
+            return None
+        down = len(c.failed_switches | fp.dead_switches)
+        if down >= self.max_failed_switches:
+            return None
+        live = sorted(
+            set(c.switch_agents) - c.failed_switches - fp.dead_switches
+        )
+        if not live:
+            return None
+        return ChaosEvent(
+            EventKind.SILENT_FAIL_SWITCH, {"switch": self.rng.choice(live)}
+        )
+
+    def _build_silent_recover_switch(self) -> Optional[ChaosEvent]:
+        fp = self.fault_plane
+        if fp is None or not fp.dead_switches:
+            return None
+        return ChaosEvent(EventKind.SILENT_RECOVER_SWITCH, {
+            "switch": self.rng.choice(sorted(fp.dead_switches)),
+        })
+
+    def _build_silent_fail_smux(self) -> Optional[ChaosEvent]:
+        fp, c = self.fault_plane, self.controller
+        if fp is None:
+            return None
+        alive = [
+            s.smux_id for s in c.smuxes if s.smux_id not in fp.dead_smuxes
+        ]
+        # Keep at least one working SMux: the backstop must stay a
+        # backstop or every aggregate-routed packet blackholes at once.
+        if len(alive) < 2:
+            return None
+        return ChaosEvent(EventKind.SILENT_FAIL_SMUX, {
+            "smux": self.rng.choice(sorted(alive)),
+        })
+
+    def _build_silent_recover_smux(self) -> Optional[ChaosEvent]:
+        fp, c = self.fault_plane, self.controller
+        if fp is None:
+            return None
+        fleet = {s.smux_id for s in c.smuxes}
+        dead = sorted(fp.dead_smuxes & fleet)
+        if not dead:
+            return None
+        return ChaosEvent(EventKind.SILENT_RECOVER_SMUX, {
+            "smux": self.rng.choice(dead),
+        })
+
+    def _build_gray_failure(self) -> Optional[ChaosEvent]:
+        fp, c = self.fault_plane, self.controller
+        if fp is None:
+            return None
+        gray_switches = {sw for sw, _ in fp.gray}
+        by_switch: Dict[int, List[int]] = {}
+        for addr, record in sorted(c.records().items()):
+            sw = record.assigned_switch
+            if sw is None:
+                continue
+            if sw in c.failed_switches or sw in fp.dead_switches:
+                continue
+            if sw in gray_switches:
+                continue
+            by_switch.setdefault(sw, []).append(addr)
+        if not by_switch:
+            return None
+        switch = self.rng.choice(sorted(by_switch))
+        # 1-in-4 gray failures are switch-wide (every VIP lossy).
+        vip = (
+            None if self.rng.random() < 0.25
+            else self.rng.choice(by_switch[switch])
+        )
+        return ChaosEvent(EventKind.GRAY_FAILURE, {
+            "switch": switch,
+            "vip": vip,
+            "loss": self.rng.choice([0.4, 0.6, 0.9]),
+        })
+
+    def _build_gray_recover(self) -> Optional[ChaosEvent]:
+        fp = self.fault_plane
+        if fp is None or not fp.gray:
+            return None
+        keys = sorted(
+            fp.gray, key=lambda k: (k[0], -1 if k[1] is None else k[1])
+        )
+        switch, vip = self.rng.choice(keys)
+        return ChaosEvent(
+            EventKind.GRAY_RECOVER, {"switch": switch, "vip": vip}
+        )
 
     def _build_enable_snat(self) -> Optional[ChaosEvent]:
         c = self.controller

@@ -154,6 +154,35 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--snapshot-interval", type=int, default=32,
                        help="journal ops between snapshot checkpoints")
 
+    health = sub.add_parser(
+        "health",
+        help="no-oracle soak: silent faults injected behind the "
+             "controller's back; the probe-driven detector must find "
+             "and remediate them",
+    )
+    health.add_argument("--seed", type=int, default=0)
+    health.add_argument("--events", type=int, default=120,
+                        help="number of chaos events to inject")
+    health.add_argument("--vips", type=int, default=24)
+    health.add_argument("--smuxes", type=int, default=3)
+    health.add_argument("--rounds-per-step", type=int, default=3,
+                        help="probe rounds run after every event")
+    health.add_argument("--background-loss", type=float, default=0.0,
+                        help="benign probe loss rate (exercises "
+                             "false-positive suppression)")
+    health.add_argument("--crash-prob", type=float, default=0.0,
+                        help="per-step probability of killing the "
+                             "controller mid-remediation and restoring "
+                             "it from the journal")
+    health.add_argument("--keep-going", action="store_true",
+                        help="continue past the first violation")
+    health.add_argument("--timeline", metavar="PATH", default=None,
+                        help="always write the detector timeline here "
+                             "(default: health-timeline.json, on "
+                             "violation only)")
+    health.add_argument("--tail", type=int, default=12, metavar="N",
+                        help="print the last N timeline entries")
+
     recover = sub.add_parser(
         "recover",
         help="restore a controller from a write-ahead journal and "
@@ -468,6 +497,92 @@ def _cmd_chaos(args) -> int:
     return 1
 
 
+def _cmd_health(args) -> int:
+    import json
+
+    from repro.chaos import ChaosConfig, ChaosEngine
+
+    config = ChaosConfig(
+        seed=args.seed,
+        n_events=args.events,
+        n_vips=args.vips,
+        n_smuxes=args.smuxes,
+        stop_on_violation=not args.keep_going,
+        crash_prob=args.crash_prob,
+        no_oracle=True,
+        monitor_rounds_per_step=args.rounds_per_step,
+        background_loss=args.background_loss,
+    )
+    engine = ChaosEngine(config)
+    started = time.monotonic()
+    report = engine.run()
+    elapsed = time.monotonic() - started
+
+    monitor, health = engine.monitor, report.health
+    print(f"{report.steps_run} events, "
+          f"{monitor.detector.rounds_seen} probe rounds in {elapsed:.1f}s "
+          f"(seed {config.seed}):")
+    width = max((len(k) for k in report.event_counts), default=1)
+    for kind in sorted(report.event_counts):
+        print(f"  {kind.ljust(width)}  {report.event_counts[kind]}")
+    detected, injected = health["faults_detected"], health["faults_injected"]
+    print(f"detection: {detected}/{injected} faults "
+          f"(budget {health['detection_budget_s'] * 1e3:.0f} ms)")
+    if health["median_detection_latency_s"] is not None:
+        print(f"  median latency {health['median_detection_latency_s'] * 1e3:.1f} ms, "
+              f"max {health['max_detection_latency_s'] * 1e3:.1f} ms")
+    print(f"  false positives: {health['false_positives']}")
+    actions = monitor.remediation.actions
+    by_op: dict = {}
+    for action in actions:
+        by_op[action["op"]] = by_op.get(action["op"], 0) + 1
+    summary = ", ".join(f"{op} x{n}" for op, n in sorted(by_op.items()))
+    print(f"remediation: {len(actions)} ops ({summary or 'none'})")
+    if report.crashes:
+        print(f"controller crashes survived mid-loop: {report.crashes}")
+    states = monitor.detector.state_counts()
+    print("final states: " + ", ".join(
+        f"{state}={count}" for state, count in sorted(states.items()) if count
+    ))
+    if args.tail > 0 and monitor.timeline:
+        print(f"timeline (last {min(args.tail, len(monitor.timeline))} "
+              f"of {len(monitor.timeline)}):")
+        for entry in monitor.timeline[-args.tail:]:
+            t = entry.get("t", 0.0)
+            if entry["type"] == "transition":
+                line = (f"{entry['target']}: {entry['from']} -> "
+                        f"{entry['to']} ({entry['detail']})")
+            elif entry["type"] == "verdict":
+                line = f"verdict {entry['kind']} {entry['target']}"
+            else:
+                ok = "ok" if entry.get("ok") else "FAILED"
+                line = f"remediation {entry['op']} {entry['target']} [{ok}]"
+            print(f"  {t * 1e3:9.1f} ms  {line}")
+
+    timeline_path = args.timeline
+    if timeline_path is not None or not report.ok:
+        timeline_path = timeline_path or "health-timeline.json"
+        with open(timeline_path, "w", encoding="utf-8") as handle:
+            json.dump({
+                "config": config.to_dict(),
+                "stats": health,
+                "fault_log": engine.fault_plane.to_dict(),
+                "timeline": monitor.timeline,
+                "violations": [str(v) for v in report.violations],
+            }, handle, indent=2, default=str)
+            handle.write("\n")
+        print(f"detector timeline -> {timeline_path}")
+
+    if report.ok:
+        print("invariants: all held (detect -> failover -> recover closed)")
+        return 0
+    print(f"violations ({len(report.violations)}), first at step "
+          f"{report.first_violation_step}:")
+    for violation in report.violations:
+        print(f"  {violation}")
+    return 1
+
+
 def _drive_quickstart_traffic(controller, recorder, flows_per_vip: int) -> None:
     """Forward a deterministic burst of client flows through the live
     deployment, ticking the recorder as the burst progresses so the
@@ -695,6 +810,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_workload_info(args.path)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "health":
+        return _cmd_health(args)
     if args.command == "recover":
         return _cmd_recover(args)
     if args.command == "metrics":

@@ -1,0 +1,253 @@
+"""Pingmesh-style probing of muxes and DIPs on a simulated clock.
+
+Three probe families, mirroring what Duet's production ancestors run:
+
+* **VIP probes** — end-to-end pings through the real forwarding path
+  (route table -> mux -> host agent), every ``probe_period_s`` like the
+  paper's 3 ms testbed pingmesh (Figures 11-13).  These populate
+  per-VIP :class:`~repro.sim.pingmesh.PingSeries` and are the only
+  signal that can see a gray failure.
+* **Liveness heartbeats** — per-switch and per-SMux reachability pings
+  to the device CPU.  A silently dead device misses them; a gray device
+  (broken only for some forwarding) still answers, which is what makes
+  gray failures gray.
+* **DIP health probes** — the Ananta-style host-agent health feed.
+
+Probes consult the :class:`~repro.health.faults.FaultPlane` *before*
+entering a mux, so a packet the physical network would have dropped
+never increments mux counters — exactly the counter-vs-offered-load gap
+the detector's telemetry corroboration keys on.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.controller import ControllerError, DuetController
+from repro.dataplane.hashing import five_tuple_hash
+from repro.dataplane.hostagent import HostAgentError
+from repro.dataplane.packet import Packet, make_tcp_packet
+from repro.health.faults import FaultPlane, dip_key, smux_key, switch_key
+from repro.net.bgp import MuxKind, RouteResolutionError
+from repro.sim.pingmesh import PingSeries, ProbeResult
+from repro.workload.vips import CLIENT_POOL
+
+#: Paper testbed cadence: one ping every 3 ms (S5.1, Figure 11).
+DEFAULT_PROBE_PERIOD_S = 0.003
+
+#: Nominal one-way service latency by mux kind; the testbed measured
+#: HMux forwarding in hardware (~us) and SMux in software (~ms tail).
+_HMUX_BASE_LATENCY_S = 150e-6
+_SMUX_BASE_LATENCY_S = 600e-6
+
+
+class SimClock:
+    """A trivially advancing simulated clock shared by the monitor."""
+
+    def __init__(self, start_s: float = 0.0) -> None:
+        self.now_s = start_s
+
+    def advance(self, dt_s: float) -> float:
+        self.now_s += dt_s
+        return self.now_s
+
+
+@dataclass(frozen=True)
+class ProbeOutcome:
+    """One probe's verdict, tagged with enough context to attribute it."""
+
+    kind: str  # "switch" | "smux" | "dip" | "vip"
+    target: str  # canonical target key ("switch:3", "dip:0x...", ...)
+    t: float
+    ok: bool
+    vip: Optional[int] = None
+    # For VIP probes: the mux that served (or should have served) it.
+    mux_kind: Optional[str] = None
+    mux_ident: Optional[int] = None
+    # True when the loss happened *after* the mux (unhealthy DIP): the
+    # mux counted the packet, so the drop must not be blamed on it.
+    post_mux: bool = False
+    latency_s: Optional[float] = None
+
+
+class ProbeNetwork:
+    """Sends individual probes; accounts per-(mux, VIP) offered load.
+
+    The per-target ``sent``/``answered`` counters below count probes the
+    prober *offered* to each mux.  The metrics registry counts packets
+    the mux actually *processed* — the detector cross-checks the two to
+    tell mux-level loss (never counted) from post-mux loss (counted,
+    then failed at the host agent).
+    """
+
+    #: Per-VIP probe history kept in memory; older results are trimmed
+    #: so an arbitrarily long soak holds bounded state.  Generous vs the
+    #: detector's windows (~15-30 rounds), so trimming never costs
+    #: evidence.
+    MAX_SERIES_RESULTS = 4096
+
+    def __init__(
+        self,
+        controller: DuetController,
+        fault_plane: FaultPlane,
+        seed: int = 0,
+    ) -> None:
+        self.controller = controller
+        self.fault_plane = fault_plane
+        self.rng = random.Random(seed ^ 0x9B0E)
+        self.series: Dict[int, PingSeries] = {}
+        # (mux_key, vip) -> probes offered / answered, cumulative.
+        self.offered: Dict[Tuple[str, int], int] = {}
+        self.answered: Dict[Tuple[str, int], int] = {}
+
+    def _series(self, vip: int) -> PingSeries:
+        series = self.series.get(vip)
+        if series is None:
+            series = PingSeries(vip=vip, label=f"vip-{vip:#x}")
+            self.series[vip] = series
+        elif len(series.results) >= 2 * self.MAX_SERIES_RESULTS:
+            del series.results[:-self.MAX_SERIES_RESULTS]
+        return series
+
+    def _latency(self, kind: MuxKind) -> float:
+        base = _HMUX_BASE_LATENCY_S if kind is MuxKind.HMUX else _SMUX_BASE_LATENCY_S
+        return base * (0.9 + 0.2 * self.rng.random())
+
+    # -- probe families -----------------------------------------------------
+
+    def probe_switch(self, index: int, t: float) -> ProbeOutcome:
+        ok = not self.fault_plane.switch_heartbeat_drops(index)
+        return ProbeOutcome(kind="switch", target=switch_key(index), t=t, ok=ok)
+
+    def probe_smux(self, smux_id: int, t: float) -> ProbeOutcome:
+        ok = not self.fault_plane.smux_heartbeat_drops(smux_id)
+        return ProbeOutcome(kind="smux", target=smux_key(smux_id), t=t, ok=ok)
+
+    def probe_dip(self, dip: int, vip: int, healthy: bool, t: float) -> ProbeOutcome:
+        return ProbeOutcome(
+            kind="dip", target=dip_key(dip), t=t, ok=healthy, vip=vip
+        )
+
+    def probe_vip(self, vip_addr: int, t: float, seq: int) -> ProbeOutcome:
+        """One end-to-end ping.  ``seq`` varies the flow so consecutive
+        probes ECMP-spread across SMuxes and exercise distinct hashes."""
+        packet = make_tcp_packet(
+            CLIENT_POOL.network + 0x7000 + (seq % 251),
+            vip_addr,
+            20000 + (seq % 8191),
+            80,
+        )
+        flow_hash = five_tuple_hash(
+            packet.flow, self.controller.hash_seed ^ 0xECC
+        )
+        try:
+            mux = self.controller.route_table.resolve(vip_addr, flow_hash)
+        except RouteResolutionError:
+            self._series(vip_addr).add(ProbeResult(t, None, "none"))
+            return ProbeOutcome(
+                kind="vip", target=f"vip:{vip_addr:#x}", t=t, ok=False,
+                vip=vip_addr,
+            )
+
+        mkey = f"{mux.kind.value}:{mux.ident}"
+        self.offered[(mkey, vip_addr)] = self.offered.get((mkey, vip_addr), 0) + 1
+
+        if mux.kind is MuxKind.HMUX:
+            physically_dropped = self.fault_plane.hmux_drops(mux.ident, vip_addr)
+        else:
+            physically_dropped = self.fault_plane.smux_drops(mux.ident)
+
+        if physically_dropped:
+            self._series(vip_addr).add(ProbeResult(t, None, mux.kind.value))
+            return ProbeOutcome(
+                kind="vip", target=f"vip:{vip_addr:#x}", t=t, ok=False,
+                vip=vip_addr, mux_kind=mux.kind.value, mux_ident=mux.ident,
+            )
+
+        post_mux = False
+        try:
+            self.controller.forward(packet)
+            ok = True
+        except HostAgentError:
+            ok = False
+            post_mux = True
+        except ControllerError:
+            ok = False
+
+        latency = self._latency(mux.kind) if ok else None
+        self._series(vip_addr).add(
+            ProbeResult(t, latency, mux.kind.value if ok or post_mux else "none")
+        )
+        if ok:
+            self.answered[(mkey, vip_addr)] = (
+                self.answered.get((mkey, vip_addr), 0) + 1
+            )
+        return ProbeOutcome(
+            kind="vip", target=f"vip:{vip_addr:#x}", t=t, ok=ok,
+            vip=vip_addr, mux_kind=mux.kind.value, mux_ident=mux.ident,
+            post_mux=post_mux, latency_s=latency,
+        )
+
+
+@dataclass
+class ProbeRound:
+    """Everything the scheduler observed in one probe period."""
+
+    t: float
+    outcomes: List[ProbeOutcome] = field(default_factory=list)
+    # vip -> [dip, ...] as of this round (control-plane intent, used by
+    # the detector to attribute DIP-level loss).
+    vip_dips: Dict[int, List[int]] = field(default_factory=dict)
+
+
+class ProbeScheduler:
+    """Drives one full probe sweep per period over every target.
+
+    Iteration orders are sorted so a chaos replay with the same seed
+    produces bit-identical probe streams.
+    """
+
+    def __init__(
+        self,
+        network: ProbeNetwork,
+        vip_probes_per_round: int = 1,
+    ) -> None:
+        self.network = network
+        self.vip_probes_per_round = vip_probes_per_round
+        self._seq = 0
+        self.rounds_run = 0
+
+    def run_round(self, t: float) -> ProbeRound:
+        controller = self.network.controller
+        round_ = ProbeRound(t=t)
+        out = round_.outcomes
+
+        for index in sorted(controller.switch_agents):
+            out.append(self.network.probe_switch(index, t))
+
+        for smux in sorted(controller.smuxes, key=lambda s: s.smux_id):
+            out.append(self.network.probe_smux(smux.smux_id, t))
+
+        records = controller.records()
+        dip_to_vip: Dict[int, int] = {}
+        for addr in sorted(records):
+            round_.vip_dips[addr] = [dip.addr for dip in records[addr].dips]
+            for dip in records[addr].dips:
+                dip_to_vip[dip.addr] = addr
+        for server in sorted(controller.host_agents):
+            report = controller.host_agents[server].health_report()
+            for dip in sorted(report):
+                vip = dip_to_vip.get(dip)
+                if vip is None:
+                    continue
+                out.append(self.network.probe_dip(dip, vip, report[dip], t))
+
+        for addr in sorted(records):
+            for _ in range(self.vip_probes_per_round):
+                out.append(self.network.probe_vip(addr, t, self._seq))
+                self._seq += 1
+
+        self.rounds_run += 1
+        return round_

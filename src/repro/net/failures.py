@@ -18,6 +18,22 @@ from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 from repro.net.routing import EcmpRouter
 from repro.net.topology import Switch, SwitchKind, Topology
 
+def as_rng(rng: "random.Random | int") -> random.Random:
+    """Coerce a seed-or-generator argument to a ``random.Random``.
+
+    Chaos runs must be replay-identical, so shared global RNG state is
+    banned: passing the ``random`` *module* (which duck-types as a
+    ``Random`` instance) is rejected explicitly, as is ``None``.
+    """
+    if isinstance(rng, random.Random):
+        return rng
+    if isinstance(rng, bool) or not isinstance(rng, int):
+        raise TypeError(
+            "expected a random.Random instance or an int seed, got "
+            f"{rng!r} — module-global RNG state breaks chaos replay"
+        )
+    return random.Random(rng)
+
 
 @dataclass(frozen=True)
 class FailureScenario:
@@ -78,9 +94,11 @@ def container_failure(topology: Topology, container: int) -> FailureScenario:
 
 
 def random_container_failure(
-    topology: Topology, rng: random.Random
+    topology: Topology, rng: "random.Random | int"
 ) -> FailureScenario:
-    """Fail a uniformly random container."""
+    """Fail a uniformly random container.  ``rng`` is a seeded
+    ``random.Random`` or an int seed (never the ``random`` module)."""
+    rng = as_rng(rng)
     return container_failure(topology, rng.randrange(topology.n_containers))
 
 
@@ -98,10 +116,11 @@ def switch_failures(
 
 
 def random_switch_failures(
-    topology: Topology, count: int, rng: random.Random
+    topology: Topology, count: int, rng: "random.Random | int"
 ) -> FailureScenario:
     """Fail ``count`` uniformly random distinct switches (the paper's
     "three random switch failures" scenario uses count=3)."""
+    rng = as_rng(rng)
     if count > topology.n_switches:
         raise ValueError("cannot fail more switches than exist")
     picked = rng.sample(range(topology.n_switches), count)
@@ -126,9 +145,10 @@ def link_failures(
 
 
 def random_link_failures(
-    topology: Topology, count: int, rng: random.Random
+    topology: Topology, count: int, rng: "random.Random | int"
 ) -> FailureScenario:
     """Fail ``count`` random physical cables (both directions each)."""
+    rng = as_rng(rng)
     # Sample among forward-direction link indices only (even indices come
     # first per duplex pair ordering is not guaranteed, so sample cables by
     # canonical (min, max) endpoint pairs).
@@ -170,7 +190,7 @@ class TransientFaultModel(FaultModel):
 
     def __init__(
         self,
-        seed: int = 0,
+        seed: "random.Random | int" = 0,
         fail_prob: float = 0.1,
         max_consecutive: int = 2,
     ) -> None:
@@ -178,7 +198,7 @@ class TransientFaultModel(FaultModel):
             raise ValueError("fail_prob must be in [0, 1]")
         if max_consecutive < 0:
             raise ValueError("max_consecutive must be non-negative")
-        self.rng = random.Random(seed)
+        self.rng = as_rng(seed)
         self.fail_prob = fail_prob
         self.max_consecutive = max_consecutive
         self.injected = 0

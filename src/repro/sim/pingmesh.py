@@ -76,15 +76,27 @@ class PingSeries:
             windows.append((start, last if last is not None else start))
         return windows
 
-    def outage_s(self) -> float:
+    def outage_s(self, now_s: Optional[float] = None) -> float:
         """Total unavailable time, measured probe-to-recovery: for each
         drop window, the span from its first dropped probe to the next
-        answered probe."""
+        answered probe.
+
+        A series that ends mid-drop has no recovery point.  By default
+        that trailing open window contributes only the span between its
+        own probes (zero for a single trailing drop).  Pass ``now_s``
+        — e.g. the live monitoring clock — to count the open window as
+        still running, from its first dropped probe until ``now_s``.
+        """
         total = 0.0
         results = self.results
         for start, last in self.drop_windows():
             after = [r.time_s for r in results if r.time_s > last and not r.dropped]
-            end = after[0] if after else last
+            if after:
+                end = after[0]
+            elif now_s is not None:
+                end = max(now_s, last)
+            else:
+                end = last
             total += end - start
         return total
 

@@ -170,3 +170,20 @@ class TestRecover:
         path.write_text("not json\n")
         assert main(["recover", str(path)]) == 2
         assert "cannot load journal" in capsys.readouterr().err
+
+
+class TestHealth:
+    """The no-oracle health loop CLI: silent faults in, probe-driven
+    detection and remediation out (full coverage in
+    tests/test_health_chaos.py; this pins the CLI surface)."""
+
+    def test_clean_run_writes_timeline(self, tmp_path, capsys):
+        timeline = tmp_path / "timeline.json"
+        assert main([
+            "health", "--seed", "0", "--events", "30",
+            "--timeline", str(timeline),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "invariants: all held" in out
+        assert "detection" in out
+        assert timeline.exists()

@@ -124,3 +124,63 @@ class TestIsolation:
         ]
         scenario = link_failures(tiny_topology, cuts)
         assert tor in isolated_switches(tiny_topology, scenario)
+
+
+class TestRngPlumbing:
+    """Every random helper takes an explicit seed-or-generator: shared
+    module-global RNG state would break chaos replay."""
+
+    def test_as_rng_passes_generators_through(self):
+        from repro.net.failures import as_rng
+
+        rng = random.Random(3)
+        assert as_rng(rng) is rng
+
+    def test_as_rng_seeds_from_int(self):
+        from repro.net.failures import as_rng
+
+        assert as_rng(42).random() == random.Random(42).random()
+
+    @pytest.mark.parametrize("bad", [None, 1.5, "7", True, random])
+    def test_as_rng_rejects_non_seeds(self, bad):
+        from repro.net.failures import as_rng
+
+        # ``random`` (the module) duck-types as a Random instance but is
+        # global state; True is an int but almost certainly a bug.
+        with pytest.raises(TypeError, match="chaos replay"):
+            as_rng(bad)
+
+    def test_scenario_helpers_accept_int_seeds(self, tiny_topology):
+        a = random_switch_failures(tiny_topology, 3, 5)
+        b = random_switch_failures(tiny_topology, 3, random.Random(5))
+        assert a.failed_switches == b.failed_switches
+        assert (
+            random_container_failure(tiny_topology, 2).failed_container
+            == random_container_failure(
+                tiny_topology, random.Random(2)
+            ).failed_container
+        )
+        assert (
+            random_link_failures(tiny_topology, 2, 9).failed_links
+            == random_link_failures(
+                tiny_topology, 2, random.Random(9)
+            ).failed_links
+        )
+
+    def test_transient_fault_model_seed_forms_agree(self):
+        from repro.net.failures import TransientFaultModel
+
+        seeded = TransientFaultModel(seed=11, fail_prob=0.5)
+        explicit = TransientFaultModel(seed=random.Random(11), fail_prob=0.5)
+        outcomes = [
+            (seeded.attempt("add", 0, 1), explicit.attempt("add", 0, 1))
+            for _ in range(50)
+        ]
+        assert all(a == b for a, b in outcomes)
+        assert seeded.injected == explicit.injected
+
+    def test_transient_fault_model_rejects_module_rng(self):
+        from repro.net.failures import TransientFaultModel
+
+        with pytest.raises(TypeError):
+            TransientFaultModel(seed=random)

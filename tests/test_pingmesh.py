@@ -84,3 +84,52 @@ class TestNavigation:
         w = s.window(2.0, 5.0)
         assert len(w) == 3
         assert w.results[0].time_s == 2.0
+
+    def test_window_is_start_inclusive_end_exclusive(self):
+        s = series_from([(0.0, 1e-4, "h"), (1.0, 1e-4, "h"), (2.0, 1e-4, "h")])
+        w = s.window(1.0, 2.0)
+        assert [r.time_s for r in w.results] == [1.0]
+        # Empty and inverted ranges are empty series, not errors.
+        assert len(s.window(1.0, 1.0)) == 0
+        assert len(s.window(5.0, 3.0)) == 0
+
+
+class TestEdgeCases:
+    def test_empty_series_has_no_windows_or_outage(self):
+        s = PingSeries(1, "empty")
+        assert s.drop_windows() == []
+        assert s.outage_s() == 0.0
+        assert s.outage_s(now_s=10.0) == 0.0
+        assert len(s.window(0.0, 1.0)) == 0
+
+    def test_all_dropped_series(self):
+        s = series_from([(0.0, None, "none"), (0.003, None, "none")])
+        assert s.availability() == 0.0
+        assert s.drop_windows() == [(0.0, 0.003)]
+        # No recovery probe: the closed-form outage spans its own probes.
+        assert s.outage_s() == pytest.approx(0.003)
+
+    def test_open_trailing_window_counts_to_now(self):
+        # The VIP went dark at t=0.003 and the outage is still running:
+        # a live monitor passes its clock to measure exposure so far.
+        s = series_from([(0.0, 1e-4, "h"), (0.003, None, "h")])
+        assert s.outage_s() == 0.0
+        assert s.outage_s(now_s=0.1) == pytest.approx(0.1 - 0.003)
+
+    def test_now_before_last_probe_never_shrinks_the_window(self):
+        s = series_from([
+            (0.0, 1e-4, "h"), (0.003, None, "h"), (0.006, None, "h"),
+        ])
+        # A stale ``now_s`` (clock behind the last probe) falls back to
+        # the last dropped probe instead of producing a negative span.
+        assert s.outage_s(now_s=0.001) == pytest.approx(0.003)
+
+    def test_now_does_not_touch_closed_windows(self):
+        s = series_from([
+            (0.000, 1e-4, "h"),
+            (0.003, None, "h"),
+            (0.006, 1e-4, "h"),
+        ])
+        # Recovered at 0.006: the recovery probe bounds the outage no
+        # matter how far the clock has advanced since.
+        assert s.outage_s(now_s=99.0) == pytest.approx(0.003)
