@@ -77,6 +77,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--export", metavar="DIR", default=None,
         help="also write each figure's rows as CSV under DIR",
     )
+    figures.add_argument(
+        "--assign-engine", choices=("fast", "scalar"), default=None,
+        help="assignment engine for figures that re-solve placements "
+             "(default: each figure's own default)",
+    )
 
     topo = sub.add_parser("topology", help="describe a container FatTree")
     topo.add_argument("--containers", type=int, default=4)
@@ -248,7 +253,10 @@ def _cmd_figures(
     scale_name: str,
     seed: int,
     export_dir: Optional[str] = None,
+    assign_engine: Optional[str] = None,
 ) -> int:
+    import inspect
+
     if run_all:
         names = sorted(ALL_FIGURES)
     if not names:
@@ -262,11 +270,17 @@ def _cmd_figures(
     status = 0
     for name in names:
         module = ALL_FIGURES[name]
+        kwargs = {}
+        if (
+            assign_engine is not None
+            and "engine" in inspect.signature(module.run).parameters
+        ):
+            kwargs["engine"] = assign_engine
         started = time.monotonic()
         if name in _SCALED_FIGURES:
-            result = module.run(scale)
+            result = module.run(scale, **kwargs)
         else:
-            result = module.run()
+            result = module.run(**kwargs)
         elapsed = time.monotonic() - started
         print(result.render())
         print(f"[{name} completed in {elapsed:.1f}s]\n")
@@ -614,6 +628,7 @@ def _cmd_metrics(args) -> int:
         Recorder,
         conservation_violations,
         instrument_controller,
+        register_assignment_metrics,
         render_prometheus,
         render_registry_jsonl,
     )
@@ -625,6 +640,7 @@ def _cmd_metrics(args) -> int:
 
     registry = MetricsRegistry()
     recorder = Recorder(registry, capacity=4096)
+    register_assignment_metrics(registry)
     if args.scenario == "quickstart":
         controller, _ = _build_quickstart_controller(args.vips, args.seed)
         instrument_controller(controller, registry)
@@ -797,6 +813,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "figures":
         return _cmd_figures(
             args.names, args.all, args.scale, args.seed, args.export,
+            args.assign_engine,
         )
     if args.command == "topology":
         return _cmd_topology(

@@ -1,11 +1,19 @@
 """Duet core: VIP assignment, migration, provisioning, controller."""
 
 from repro.core.assignment import (
+    ASSIGN_ENGINES,
     Assignment,
     AssignmentConfig,
     AssignmentError,
     GreedyAssigner,
     LoadCalculator,
+)
+from repro.core.fastassign import (
+    ASSIGN_STATS,
+    AssignStats,
+    FastAssignEngine,
+    reset_assign_stats,
+    stats_for,
 )
 from repro.core.baselines import FirstFitAssigner, RandomAssigner
 from repro.core.capacity import CapacityReport, binding_resource, find_capacity
@@ -47,10 +55,14 @@ from repro.core.provisioning import (
 )
 
 __all__ = [
+    "ASSIGN_ENGINES",
+    "ASSIGN_STATS",
+    "AssignStats",
     "Assignment",
     "AssignmentConfig",
     "AssignmentError",
     "AssignmentRefiner",
+    "FastAssignEngine",
     "CapacityReport",
     "ControllerError",
     "DEFAULT_STICKY_DELTA",
@@ -86,7 +98,9 @@ __all__ = [
     "duet_provisioning",
     "failover_traffic",
     "find_capacity",
+    "reset_assign_stats",
     "slots_of_dip",
+    "stats_for",
     "surviving_vip_traffic",
     "worst_container_failover",
     "worst_switch_failover",

@@ -35,11 +35,13 @@ set from |S_tor| to |C|.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro.core.fastassign import FastAssignEngine, stats_for
 from repro.net.routing import EcmpRouter, UnreachableError
 from repro.net.topology import SwitchKind, Topology
 from repro.workload.vips import VipDemand
@@ -56,6 +58,12 @@ VIP_ORDERS = (
     "traffic-desc", "traffic-asc", "dips-desc", "random", "latency-first",
 )
 
+#: Assignment engines: "fast" scores candidates through the vectorized
+#: delta-matrix backend (:mod:`repro.core.fastassign`); "scalar" walks
+#: each candidate's load vector individually.  Placement-identical by
+#: contract (tests/test_assign_differential.py).
+ASSIGN_ENGINES = ("fast", "scalar")
+
 
 @dataclass(frozen=True)
 class AssignmentConfig:
@@ -68,6 +76,7 @@ class AssignmentConfig:
     stop_on_first_failure: bool = True       # paper semantics (S4.1)
     vip_order: str = "traffic-desc"          # paper default (S4.1)
     seed: int = 0                            # tie-breaking randomness
+    engine: str = "fast"                     # "fast" | "scalar"
 
     def __post_init__(self) -> None:
         if not 0 < self.link_headroom <= 1.0:
@@ -78,6 +87,8 @@ class AssignmentConfig:
             )
         if self.vip_order not in VIP_ORDERS:
             raise AssignmentError(f"unknown VIP order: {self.vip_order}")
+        if self.engine not in ASSIGN_ENGINES:
+            raise AssignmentError(f"unknown assignment engine: {self.engine}")
 
     def order_demands(self, demands: Sequence["VipDemand"]) -> List["VipDemand"]:
         """The processing order the greedy pass uses."""
@@ -364,6 +375,7 @@ class GreedyAssigner:
         topology: Topology,
         config: AssignmentConfig = AssignmentConfig(),
         router: Optional[EcmpRouter] = None,
+        engine: Optional[str] = None,
     ) -> None:
         self.topology = topology
         self.config = config
@@ -386,6 +398,24 @@ class GreedyAssigner:
             mask = np.zeros(topology.n_links, dtype=bool)
             mask[topology.container_links(c)] = True
             self._container_link_mask[c] = mask
+        requested = engine if engine is not None else config.engine
+        if requested not in ASSIGN_ENGINES:
+            raise AssignmentError(f"unknown assignment engine: {requested}")
+        self._engine: Optional[FastAssignEngine] = None
+        self.engine_name = requested
+        if requested == "fast":
+            fast = FastAssignEngine(
+                topology, self.calculator, self.config,
+                self.dip_capacity, self._candidates,
+            )
+            if fast.supported:
+                self._engine = fast
+            else:
+                # Dense evaluation would not fit this fabric; count the
+                # fallback and run scalar (placement-identical anyway).
+                fast.stats.fallbacks += 1
+                self.engine_name = "scalar"
+        self.stats = stats_for(self.engine_name)
 
     def _candidate_switches(self) -> List[int]:
         failed = self.calculator.router.failed_switches
@@ -397,6 +427,7 @@ class GreedyAssigner:
 
     def assign(self, demands: Sequence[VipDemand]) -> Assignment:
         """Assign all demands from scratch (descending traffic order)."""
+        started = time.perf_counter()
         link_util = np.zeros(self.topology.n_links)
         mem_util = np.zeros(self.topology.n_switches)
         placed: Dict[int, int] = {}
@@ -421,6 +452,7 @@ class GreedyAssigner:
             switch_index, _mru = choice
             self._commit(demand, switch_index, link_util, mem_util)
             placed[demand.vip_id] = switch_index
+        self.stats.record_solve(time.perf_counter() - started)
         return Assignment(
             topology=self.topology,
             config=self.config,
@@ -439,15 +471,34 @@ class GreedyAssigner:
     ) -> Optional[Tuple[int, float]]:
         """The feasible switch minimizing MRU for this demand, with its
         resulting MRU; None if every placement would exceed capacity."""
+        if self._engine is not None:
+            return self._engine.best_switch(self, demand, link_util, mem_util)
         candidates = self._effective_candidates(demand, link_util, mem_util)
+        self.stats.candidate_evaluations += len(candidates)
         global_max = self._global_max(link_util, mem_util)
+        scored = (
+            (
+                switch_index,
+                self.placement_mru(
+                    demand, switch_index, link_util, mem_util,
+                    global_max=global_max,
+                ),
+            )
+            for switch_index in candidates
+        )
+        return self._select_best(demand, scored)
+
+    def _select_best(
+        self,
+        demand: VipDemand,
+        scored: Iterable[Tuple[int, Optional[float]]],
+    ) -> Optional[Tuple[int, float]]:
+        """Shared selection over (candidate, MRU-or-None) pairs — both
+        engines feed this one loop so epsilon comparisons and the seeded
+        tie-break behave identically."""
         best: List[int] = []
         best_mru = float("inf")
-        for switch_index in candidates:
-            mru = self.placement_mru(
-                demand, switch_index, link_util, mem_util,
-                global_max=global_max,
-            )
+        for switch_index, mru in scored:
             if mru is None:
                 continue
             if mru < best_mru - 1e-12:

@@ -1,0 +1,531 @@
+"""Vectorized incremental VIP-assignment engine (``engine="fast"``).
+
+The scalar greedy pass (:mod:`repro.core.assignment`) probes every
+candidate switch per VIP with a fresh sparse load-vector walk: for a
+fabric with |S| switches that is |S| concatenations, divisions and
+reductions *per VIP per epoch* — the control-plane hot path once epoch
+re-assignment runs at the ROADMAP scale.  This module batches that work:
+
+* **Per-leg delta matrices.**  A VIP's load vector is a weighted sum of
+  *legs* (ingress rack → s, Internet → s, diffuse → s, s → DIP rack),
+  and each leg's path-fraction pattern depends only on the topology and
+  the frozen failure set — never on the utilization state or the
+  placement history.  The engine therefore caches, per leg anchor, a CSR
+  matrix holding that leg's sparse (link, fraction) row for **every**
+  candidate switch at once, built from the same
+  :class:`~repro.core.assignment.LoadCalculator` path-fraction caches the
+  scalar engine reads.
+* **One dense evaluation per VIP.**  Stacking the legs of one demand
+  gives the per-(candidate, link) utilization-delta matrix; a single
+  ``np.bincount`` over ``candidate * n_links + link`` accumulates it
+  densely, and one row-max against the current link-utilization vector
+  yields every candidate's post-placement link peak.  Greedy placement
+  becomes an argmin over that cached MRU vector instead of |S| topology
+  walks.
+* **Invalidation.**  Delta rows are *placement-invariant*: committing a
+  VIP only changes the shared utilization vectors (which are inputs to
+  the evaluation, not part of the cache), so placements invalidate
+  nothing.  Rows are keyed by the frozen :class:`VipDemand` structure;
+  only demand churn (new VIPs, shifted ingress/DIP sets) builds new rows,
+  and the caches self-limit via an entry budget (bulk clear, counted in
+  ``rows_invalidated``).
+
+**Bit-identity with the scalar engine** is the design contract, enforced
+by ``tests/test_assign_differential.py``: every float is produced by the
+same IEEE-754 operation sequence as the scalar code (``np.bincount``
+accumulates per key in input order, exactly like the scalar dict loop;
+weights, divisions and comparisons reuse the scalar expressions), and
+tie-breaking goes through the very same seeded RNG in
+:meth:`GreedyAssigner._select_best`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.net.routing import UnreachableError
+from repro.net.topology import SwitchKind, Topology
+from repro.workload.vips import VipDemand
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.assignment import GreedyAssigner, LoadCalculator
+
+#: Above this many dense cells (candidates x links) the bincount
+#: evaluation would allocate unreasonably large scratch rows; the
+#: assigner then falls back to the scalar engine (recorded in
+#: ``AssignStats.fallbacks``).  16M cells = 128 MB of float64 scratch.
+DENSE_CELL_LIMIT = 16_000_000
+
+#: Cached leg/demand structures are bulk-cleared once their summed entry
+#: counts pass these budgets (mirrors ``_LOAD_CACHE_MAX`` in the scalar
+#: calculator: a guard against unbounded growth, not a tuning knob).
+LEG_ENTRY_BUDGET = 8_000_000
+STRUCTURE_ENTRY_BUDGET = 4_000_000
+
+#: Pending per-solve latencies kept for the metrics collector before the
+#: oldest are dropped (scrapes normally drain far earlier).
+_MAX_PENDING_SOLVES = 4096
+
+
+@dataclass
+class AssignStats:
+    """Counters one engine flavor accumulates across all assigners.
+
+    Mirrored into ``duet_assign_*`` metrics by
+    :func:`repro.obs.instrument.register_assignment_metrics`.
+    """
+
+    engine: str
+    solves: int = 0
+    solve_seconds_total: float = 0.0
+    candidate_evaluations: int = 0
+    rows_built: int = 0
+    rows_invalidated: int = 0
+    fallbacks: int = 0
+    _pending_solve_seconds: List[float] = field(default_factory=list)
+
+    def record_solve(self, seconds: float) -> None:
+        self.solves += 1
+        self.solve_seconds_total += seconds
+        if len(self._pending_solve_seconds) < _MAX_PENDING_SOLVES:
+            self._pending_solve_seconds.append(seconds)
+
+    def drain_pending_solves(self) -> List[float]:
+        """Hand the not-yet-observed solve latencies to the collector."""
+        pending = self._pending_solve_seconds
+        self._pending_solve_seconds = []
+        return pending
+
+    def reset(self) -> None:
+        self.solves = 0
+        self.solve_seconds_total = 0.0
+        self.candidate_evaluations = 0
+        self.rows_built = 0
+        self.rows_invalidated = 0
+        self.fallbacks = 0
+        self._pending_solve_seconds = []
+
+
+#: Process-wide stats, one per engine flavor ("fast" / "scalar"), so the
+#: obs collector sees every assigner the controller or experiments spin
+#: up without threading a registry through the solver hot path.
+ASSIGN_STATS: Dict[str, AssignStats] = {
+    "fast": AssignStats("fast"),
+    "scalar": AssignStats("scalar"),
+}
+
+
+def stats_for(engine: str) -> AssignStats:
+    return ASSIGN_STATS[engine]
+
+
+def reset_assign_stats() -> None:
+    for stats in ASSIGN_STATS.values():
+        stats.reset()
+
+
+class _LegMatrix:
+    """One leg's sparse (link, fraction) row for every switch, CSR-style.
+
+    ``keys`` pre-encodes ``switch * n_links + link`` so a demand's
+    stacked legs can be accumulated with a single ``np.bincount``.
+    """
+
+    __slots__ = (
+        "starts", "link_idx", "pf", "caphr", "keys", "unreachable", "nnz",
+    )
+
+    def __init__(
+        self,
+        n_switches: int,
+        n_links: int,
+        rows: List[Optional[Tuple[np.ndarray, np.ndarray]]],
+        capacity: np.ndarray,
+    ) -> None:
+        lengths = np.zeros(n_switches, dtype=np.int64)
+        self.unreachable = np.zeros(n_switches, dtype=bool)
+        parts_idx: List[np.ndarray] = []
+        parts_pf: List[np.ndarray] = []
+        for s, row in enumerate(rows):
+            if row is None:
+                self.unreachable[s] = True
+                continue
+            idx, val = row
+            lengths[s] = len(idx)
+            if len(idx):
+                parts_idx.append(idx)
+                parts_pf.append(val)
+        self.starts = np.zeros(n_switches + 1, dtype=np.int64)
+        np.cumsum(lengths, out=self.starts[1:])
+        if parts_idx:
+            self.link_idx = np.concatenate(parts_idx)
+            self.pf = np.concatenate(parts_pf)
+        else:
+            self.link_idx = np.empty(0, dtype=np.int64)
+            self.pf = np.empty(0)
+        self.caphr = capacity[self.link_idx]
+        row_ids = np.repeat(np.arange(n_switches, dtype=np.int64), lengths)
+        self.keys = row_ids * n_links + self.link_idx
+        self.nnz = int(len(self.link_idx))
+
+    def row(self, switch_index: int) -> Tuple[np.ndarray, np.ndarray]:
+        lo = self.starts[switch_index]
+        hi = self.starts[switch_index + 1]
+        return self.link_idx[lo:hi], self.pf[lo:hi]
+
+
+#: Weight-spec tags: how to turn a demand's traffic into one leg's
+#: weight, mirroring the scalar ``_compute_load_vector`` expressions.
+_W_INGRESS = 0   # traffic * fraction          (fraction in the spec)
+_W_INTERNET = 1  # traffic * internet_fraction
+_W_DIFFUSE = 2   # traffic * diffuse_intra_fraction
+_W_DIP = 3       # (traffic / alive_dips) * count  (count in the spec)
+
+
+class _DemandStructure:
+    """The traffic-independent stacking of one demand's legs.
+
+    Shared by every demand with the same ingress racks / ingress flags /
+    DIP rack multiset; the per-epoch traffic volume only scales the leg
+    weights (:meth:`weights`), so a shifted-traffic epoch reuses the
+    structure as-is — the delta matrix never goes stale.
+    """
+
+    __slots__ = (
+        "legs", "specs", "leg_sizes", "keys", "pf", "caphr",
+        "reachable", "alive_dips", "all_unreachable", "nnz",
+    )
+
+    def __init__(
+        self,
+        n_switches: int,
+        legs: List[_LegMatrix],
+        specs: List[Tuple[int, float]],
+        alive_dips: int,
+        all_unreachable: bool,
+    ) -> None:
+        self.legs = legs
+        self.specs = specs
+        self.alive_dips = alive_dips
+        self.all_unreachable = all_unreachable
+        self.leg_sizes = np.array([m.nnz for m in legs], dtype=np.int64)
+        if legs:
+            self.keys = np.concatenate([m.keys for m in legs])
+            self.pf = np.concatenate([m.pf for m in legs])
+            self.caphr = np.concatenate([m.caphr for m in legs])
+            reachable = np.ones(n_switches, dtype=bool)
+            for m in legs:
+                reachable &= ~m.unreachable
+            self.reachable = reachable
+        else:
+            self.keys = np.empty(0, dtype=np.int64)
+            self.pf = np.empty(0)
+            self.caphr = np.empty(0)
+            self.reachable = np.ones(n_switches, dtype=bool)
+        self.nnz = int(len(self.keys))
+
+    def weights(self, demand: VipDemand) -> np.ndarray:
+        """Per-leg traffic weights, one scalar per leg, in leg order —
+        the exact expressions of the scalar ``_compute_load_vector``."""
+        traffic = demand.traffic_bps
+        out = np.empty(len(self.specs))
+        for i, (tag, param) in enumerate(self.specs):
+            if tag == _W_INGRESS:
+                out[i] = traffic * param
+            elif tag == _W_INTERNET:
+                out[i] = traffic * demand.internet_fraction
+            elif tag == _W_DIFFUSE:
+                out[i] = traffic * demand.diffuse_intra_fraction
+            else:
+                per_dip = traffic / self.alive_dips
+                out[i] = per_dip * param
+        return out
+
+
+def _structure_key(demand: VipDemand) -> Tuple:
+    return (
+        demand.ingress_racks,
+        demand.internet_fraction > 0,
+        demand.diffuse_intra_fraction > 1e-12,
+        demand.dip_tors,
+    )
+
+
+class FastAssignEngine:
+    """The numpy-vectorized evaluation backend of :class:`GreedyAssigner`.
+
+    Owns the leg delta matrices and the per-demand stackings; the
+    assigner keeps the driver loop, the tie-breaking RNG and the
+    utilization state, so both engines share one selection code path.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        calculator: "LoadCalculator",
+        config,
+        dip_capacity: int,
+        candidates: Sequence[int],
+    ) -> None:
+        self.topology = topology
+        self.calculator = calculator
+        self.config = config
+        self.dip_capacity = dip_capacity
+        self.n_switches = topology.n_switches
+        self.n_links = topology.n_links
+        self.dense_cells = self.n_switches * self.n_links
+        self.supported = self.dense_cells <= DENSE_CELL_LIMIT
+        self.stats = stats_for("fast")
+        # Leg matrices: ("from", tor) / ("to", tor) / ("inet",) / ("diff",).
+        self._legs: Dict[Tuple, _LegMatrix] = {}
+        self._leg_entries = 0
+        self._structures: Dict[Tuple, _DemandStructure] = {}
+        self._structure_entries = 0
+        # Candidate bookkeeping shared with the scalar strategy: Aggs and
+        # Cores in switch-index order, exactly as the scalar
+        # ``_effective_candidates`` emits them.
+        self._agg_core = [
+            s for s in candidates
+            if topology.switch(s).kind in (SwitchKind.AGG, SwitchKind.CORE)
+        ]
+        if self.supported:
+            self._build_container_index()
+
+    # -- cache management ----------------------------------------------------
+
+    def invalidate(self) -> None:
+        """Drop every cached delta row (the leg path-fraction matrices
+        stay: like the calculator's path caches they depend only on the
+        topology and the frozen failure set)."""
+        self.stats.rows_invalidated += len(self._structures)
+        self._structures.clear()
+        self._structure_entries = 0
+
+    # -- leg matrices --------------------------------------------------------
+
+    def _leg(self, key: Tuple) -> _LegMatrix:
+        cached = self._legs.get(key)
+        if cached is not None:
+            return cached
+        calc = self.calculator
+        rows: List[Optional[Tuple[np.ndarray, np.ndarray]]] = []
+        for s in range(self.n_switches):
+            try:
+                if key[0] == "from":
+                    rows.append(calc._pf(key[1], s))
+                elif key[0] == "to":
+                    rows.append(calc._pf(s, key[1]))
+                elif key[0] == "inet":
+                    rows.append(calc._internet_pf(s))
+                else:
+                    rows.append(calc._diffuse_pf(s))
+            except UnreachableError:
+                rows.append(None)
+        matrix = _LegMatrix(self.n_switches, self.n_links, rows, calc._capacity)
+        if self._leg_entries + matrix.nnz > LEG_ENTRY_BUDGET and self._legs:
+            self._legs.clear()
+            self._leg_entries = 0
+        self._legs[key] = matrix
+        self._leg_entries += matrix.nnz
+        return matrix
+
+    # -- per-demand structures (the delta-matrix rows) -----------------------
+
+    def _structure(self, demand: VipDemand) -> _DemandStructure:
+        key = _structure_key(demand)
+        cached = self._structures.get(key)
+        if cached is not None:
+            return cached
+        failed = self.calculator.router.failed_switches
+        legs: List[_LegMatrix] = []
+        specs: List[Tuple[int, float]] = []
+        # Leg order mirrors the scalar ``_compute_load_vector`` exactly:
+        # ingress racks, Internet, diffuse, then DIP racks.
+        for tor, fraction in demand.ingress_racks:
+            if tor in failed:
+                continue
+            legs.append(self._leg(("from", tor)))
+            specs.append((_W_INGRESS, fraction))
+        if demand.internet_fraction > 0:
+            legs.append(self._leg(("inet",)))
+            specs.append((_W_INTERNET, 0.0))
+        if demand.diffuse_intra_fraction > 1e-12:
+            legs.append(self._leg(("diff",)))
+            specs.append((_W_DIFFUSE, 0.0))
+        alive_dip_tors = [
+            (tor, count) for tor, count in demand.dip_tors
+            if tor not in failed
+        ]
+        alive_dips = sum(count for _, count in alive_dip_tors)
+        all_unreachable = alive_dips == 0 and demand.n_dips > 0
+        if not all_unreachable:
+            for tor, count in alive_dip_tors:
+                legs.append(self._leg(("to", tor)))
+                specs.append((_W_DIP, float(count)))
+        structure = _DemandStructure(
+            self.n_switches, legs, specs, alive_dips, all_unreachable,
+        )
+        if (
+            self._structure_entries + structure.nnz > STRUCTURE_ENTRY_BUDGET
+            and self._structures
+        ):
+            self.stats.rows_invalidated += len(self._structures)
+            self._structures.clear()
+            self._structure_entries = 0
+        self._structures[key] = structure
+        self._structure_entries += structure.nnz
+        self.stats.rows_built += 1
+        return structure
+
+    # -- evaluation ----------------------------------------------------------
+
+    def _link_peaks(
+        self, structure: _DemandStructure, demand: VipDemand,
+        link_util: np.ndarray,
+    ) -> np.ndarray:
+        """Post-placement link peak for *every* switch at once.
+
+        For untouched links the dense cell holds ``U + 0.0 == U`` so a
+        row max can only report a value the global base already covers —
+        the final ``max(global, peak, mem)`` matches the scalar
+        ``max(base, touched-links peak, mem)`` exactly.
+        """
+        if structure.nnz == 0:
+            return np.zeros(self.n_switches)
+        w = structure.weights(demand)
+        data = structure.pf * np.repeat(w, structure.leg_sizes)
+        util = data / structure.caphr
+        dense = np.bincount(
+            structure.keys, weights=util, minlength=self.dense_cells,
+        ).reshape(self.n_switches, self.n_links)
+        np.add(dense, link_util, out=dense)
+        return dense.max(axis=1)
+
+    def best_switch(
+        self,
+        assigner: "GreedyAssigner",
+        demand: VipDemand,
+        link_util: np.ndarray,
+        mem_util: np.ndarray,
+    ) -> Optional[Tuple[int, float]]:
+        """Engine-side half of :meth:`GreedyAssigner.best_switch`:
+        vectorized scoring, shared scalar selection."""
+        candidates = self.effective_candidates(
+            assigner, demand, link_util, mem_util,
+        )
+        self.stats.candidate_evaluations += len(candidates)
+        structure = self._structure(demand)
+        if structure.all_unreachable:
+            return None
+        global_max = assigner._global_max(link_util, mem_util)
+        mem_add = demand.n_dips / self.dip_capacity
+        peaks = self._link_peaks(structure, demand, link_util)
+        reachable = structure.reachable
+
+        def scored():
+            for s in candidates:
+                new_mem = mem_util[s] + mem_add
+                if new_mem > 1.0 + 1e-12 or not reachable[s]:
+                    yield s, None
+                    continue
+                yield s, max(global_max, float(peaks[s]), float(new_mem))
+
+        return assigner._select_best(demand, scored())
+
+    # -- candidate generation (vectorized container decomposition) -----------
+
+    def _build_container_index(self) -> None:
+        """Gather per-container ToR/Agg link indices into dense tensors so
+        the Figure 5 best-ToR scan runs as a handful of array ops."""
+        topo = self.topology
+        failed = self.calculator.router.failed_switches
+        n_c = topo.n_containers
+        tpc = topo.params.tors_per_container
+        apc = topo.params.aggs_per_container
+        self._tor_sw = np.zeros((n_c, tpc), dtype=np.int64)
+        self._tor_dead = np.zeros((n_c, tpc), dtype=bool)
+        self._agg_alive = np.zeros((n_c, apc), dtype=bool)
+        self._down_idx = np.zeros((n_c, tpc, apc), dtype=np.int64)
+        self._up_idx = np.zeros((n_c, tpc, apc), dtype=np.int64)
+        down_cap = np.zeros((n_c, tpc, apc))
+        up_cap = np.zeros((n_c, tpc, apc))
+        headroom = self.config.link_headroom
+        for c in range(n_c):
+            aggs = topo.aggs(c)
+            for j, agg in enumerate(aggs):
+                self._agg_alive[c, j] = agg not in failed
+            for i, tor in enumerate(topo.tors(c)):
+                self._tor_sw[c, i] = tor
+                self._tor_dead[c, i] = tor in failed
+                for j, agg in enumerate(aggs):
+                    down = topo.link_between(agg, tor)
+                    up = topo.link_between(tor, agg)
+                    self._down_idx[c, i, j] = down.index
+                    self._up_idx[c, i, j] = up.index
+                    down_cap[c, i, j] = down.capacity * headroom
+                    up_cap[c, i, j] = up.capacity * headroom
+        self._down_caphr = down_cap
+        self._up_caphr = up_cap
+        self._n_alive_aggs = self._agg_alive.sum(axis=1)
+
+    def best_tors(
+        self,
+        demand: VipDemand,
+        link_util: np.ndarray,
+        mem_util: np.ndarray,
+        mem_need: float,
+    ) -> List[int]:
+        """Best ToR of each container (container order), vectorized over
+        all containers — value-identical to the scalar
+        ``_best_tor_in_container`` loop (argmin keeps the first minimum,
+        matching its strict-improvement scan)."""
+        n_alive = self._n_alive_aggs
+        valid = n_alive > 0
+        if not valid.any():
+            return []
+        share = np.zeros(len(n_alive))
+        np.divide(
+            demand.traffic_bps, n_alive, out=share, where=valid,
+        )
+        mem_term = mem_util[self._tor_sw] + mem_need
+        down = link_util[self._down_idx] + share[:, None, None] / self._down_caphr
+        up = link_util[self._up_idx] + share[:, None, None] / self._up_caphr
+        per_agg = np.maximum(down, up)
+        per_agg = np.where(self._agg_alive[:, None, :], per_agg, -np.inf)
+        score = np.maximum(mem_term, per_agg.max(axis=2))
+        score = np.where(
+            self._tor_dead | (mem_term > 1.0 + 1e-12), np.inf, score,
+        )
+        best = np.argmin(score, axis=1)
+        out: List[int] = []
+        for c in range(len(n_alive)):
+            if not valid[c]:
+                continue
+            if np.isinf(score[c, best[c]]):
+                continue
+            out.append(int(self._tor_sw[c, best[c]]))
+        return out
+
+    def effective_candidates(
+        self,
+        assigner: "GreedyAssigner",
+        demand: VipDemand,
+        link_util: np.ndarray,
+        mem_util: np.ndarray,
+    ) -> List[int]:
+        if self.config.candidate_strategy == "exhaustive":
+            return assigner._candidates
+        params = self.topology.params
+        tor_capacity = (
+            params.aggs_per_container * params.tor_agg_gbps * 1e9
+            * self.config.link_headroom
+        )
+        chosen: List[int] = []
+        if not demand.traffic_bps > tor_capacity:
+            mem_need = demand.n_dips / self.dip_capacity
+            chosen = self.best_tors(demand, link_util, mem_util, mem_need)
+        chosen.extend(self._agg_core)
+        return chosen

@@ -23,6 +23,7 @@ transitional memory deadlock of Figure 4 — and (b) keeps the VIP served
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -135,6 +136,7 @@ class StickyMigrator:
         config: AssignmentConfig = AssignmentConfig(),
         delta: float = DEFAULT_STICKY_DELTA,
         router: Optional[EcmpRouter] = None,
+        engine: Optional[str] = None,
     ) -> None:
         if delta < 0:
             raise ValueError("delta must be non-negative")
@@ -142,6 +144,7 @@ class StickyMigrator:
         self.config = config
         self.delta = delta
         self.router = router
+        self.engine = engine
 
     def reassign(
         self,
@@ -149,8 +152,10 @@ class StickyMigrator:
         demands: Sequence[VipDemand],
     ) -> Tuple[Assignment, MigrationPlan]:
         """Compute the sticky assignment for the new epoch and its plan."""
+        started = time.perf_counter()
         assigner = GreedyAssigner(
-            self.topology, self.config, router=self.router
+            self.topology, self.config, router=self.router,
+            engine=self.engine,
         )
         old_map: Dict[int, int] = dict(old.vip_to_switch) if old else {}
         link_util = np.zeros(self.topology.n_links)
@@ -202,6 +207,7 @@ class StickyMigrator:
             mem_util[target] += demand.n_dips / assigner.dip_capacity
             placed[demand.vip_id] = target
 
+        assigner.stats.record_solve(time.perf_counter() - started)
         new = Assignment(
             topology=self.topology,
             config=self.config,
@@ -227,10 +233,12 @@ class NonStickyMigrator:
         topology: Topology,
         config: AssignmentConfig = AssignmentConfig(),
         router: Optional[EcmpRouter] = None,
+        engine: Optional[str] = None,
     ) -> None:
         self.topology = topology
         self.config = config
         self.router = router
+        self.engine = engine
 
     def reassign(
         self,
@@ -238,7 +246,8 @@ class NonStickyMigrator:
         demands: Sequence[VipDemand],
     ) -> Tuple[Assignment, MigrationPlan]:
         assigner = GreedyAssigner(
-            self.topology, self.config, router=self.router
+            self.topology, self.config, router=self.router,
+            engine=self.engine,
         )
         new = assigner.assign(demands)
         return new, diff_assignments(old, new)
@@ -259,9 +268,11 @@ class OneTimeMigrator:
         self,
         topology: Topology,
         config: AssignmentConfig = AssignmentConfig(),
+        engine: Optional[str] = None,
     ) -> None:
         self.topology = topology
         self.config = config
+        self.engine = engine
         self._initial: Optional[Dict[int, int]] = None
 
     def reassign(
@@ -269,7 +280,8 @@ class OneTimeMigrator:
         old: Optional[Assignment],
         demands: Sequence[VipDemand],
     ) -> Tuple[Assignment, MigrationPlan]:
-        assigner = GreedyAssigner(self.topology, self.config)
+        started = time.perf_counter()
+        assigner = GreedyAssigner(self.topology, self.config, engine=self.engine)
         if self._initial is None:
             new = assigner.assign(demands)
             self._initial = dict(new.vip_to_switch)
@@ -293,6 +305,7 @@ class OneTimeMigrator:
             assigner.calculator.apply(link_util, demand, switch)
             mem_util[switch] += demand.n_dips / assigner.dip_capacity
             placed[demand.vip_id] = switch
+        assigner.stats.record_solve(time.perf_counter() - started)
         new = Assignment(
             topology=self.topology,
             config=self.config,

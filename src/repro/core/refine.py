@@ -57,6 +57,7 @@ class AssignmentRefiner:
         *,
         max_iterations: int = 200,
         min_gain: float = 1e-4,
+        engine: Optional[str] = None,
     ) -> None:
         if max_iterations < 0:
             raise ValueError("iteration budget must be non-negative")
@@ -64,10 +65,11 @@ class AssignmentRefiner:
         self.config = config
         self.max_iterations = max_iterations
         self.min_gain = min_gain
+        self.engine = engine
 
     def refine(self, assignment: Assignment) -> RefinementResult:
         """Refine in place-copy; the input assignment is not mutated."""
-        greedy = GreedyAssigner(self.topology, self.config)
+        greedy = GreedyAssigner(self.topology, self.config, engine=self.engine)
         placed: Dict[int, int] = dict(assignment.vip_to_switch)
         demands = assignment.demands
         link_util = assignment.link_utilization.copy()
@@ -77,9 +79,15 @@ class AssignmentRefiner:
         iterations = 0
 
         for iterations in range(1, self.max_iterations + 1):
-            current_mru = self._mru(link_util, mem_util)
+            # One peak-resource scan per iteration: both the current MRU
+            # and the candidate pick below read from it, instead of each
+            # re-deriving the argmax/max from scratch.
+            peaks = self._peak_resource(link_util, mem_util)
+            peak_link, link_peak, peak_switch, mem_peak = peaks
+            current_mru = max(link_peak, mem_peak)
             candidates = self._vips_on_peak(
-                placed, demands, link_util, mem_util, greedy
+                placed, demands, greedy,
+                peak_link, link_peak, peak_switch, mem_peak,
             )
             improved = False
             for vip_id in candidates:
@@ -111,7 +119,7 @@ class AssignmentRefiner:
 
     def refine_fresh(self, demands: Sequence[VipDemand]) -> RefinementResult:
         """Greedy assignment followed by refinement."""
-        greedy = GreedyAssigner(self.topology, self.config)
+        greedy = GreedyAssigner(self.topology, self.config, engine=self.engine)
         return self.refine(greedy.assign(demands))
 
     # -- internals -----------------------------------------------------------
@@ -123,21 +131,34 @@ class AssignmentRefiner:
             peak = max(peak, float(mem_util.max()))
         return peak
 
+    @staticmethod
+    def _peak_resource(
+        link_util: np.ndarray, mem_util: np.ndarray
+    ) -> Tuple[int, float, int, float]:
+        """Locate the most-utilized link and switch memory in one scan.
+
+        Returns ``(peak_link, link_peak, peak_switch, mem_peak)``;
+        ``max(link_peak, mem_peak)`` is the network MRU, so callers never
+        need a separate ``_mru`` pass per iteration.
+        """
+        peak_link = int(np.argmax(link_util)) if len(link_util) else -1
+        link_peak = float(link_util[peak_link]) if peak_link >= 0 else 0.0
+        peak_switch = int(np.argmax(mem_util)) if len(mem_util) else -1
+        mem_peak = float(mem_util[peak_switch]) if peak_switch >= 0 else 0.0
+        return peak_link, link_peak, peak_switch, mem_peak
+
     def _vips_on_peak(
         self,
         placed: Dict[int, int],
         demands: Dict[int, VipDemand],
-        link_util: np.ndarray,
-        mem_util: np.ndarray,
         greedy: GreedyAssigner,
+        peak_link: int,
+        link_peak: float,
+        peak_switch: int,
+        mem_peak: float,
     ) -> List[int]:
         """VIPs contributing to the most-utilized resource, biggest
         contribution first."""
-        peak_link = int(np.argmax(link_util)) if len(link_util) else -1
-        link_peak = link_util[peak_link] if peak_link >= 0 else 0.0
-        peak_switch = int(np.argmax(mem_util)) if len(mem_util) else -1
-        mem_peak = mem_util[peak_switch] if peak_switch >= 0 else 0.0
-
         scored: List[Tuple[float, int]] = []
         if link_peak >= mem_peak:
             for vip_id, switch in placed.items():

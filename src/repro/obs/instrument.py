@@ -364,6 +364,66 @@ def instrument_smux(
     )
 
 
+#: Epoch solves range from sub-millisecond smoke topologies to multi-
+#: second scalar solves on north-star fabrics; span both.
+ASSIGN_SOLVE_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0,
+)
+
+
+def register_assignment_metrics(
+    registry: MetricsRegistry,
+    *,
+    prefix: str = DEFAULT_PREFIX,
+    collector_name: str = "assignment",
+) -> None:
+    """Mirror the per-engine assignment-solver stats
+    (:data:`repro.core.fastassign.ASSIGN_STATS`) into the registry.
+
+    Same collector idiom as the dataplane counters: the solver hot path
+    only bumps plain ints on its :class:`AssignStats`; this installs a
+    named collector that mirrors them into typed instruments at scrape
+    time.  Solve latencies buffered since the last scrape drain into the
+    histogram here.
+    """
+    from repro.core.fastassign import ASSIGN_STATS
+
+    p = prefix
+    solve_seconds = registry.histogram(
+        f"{p}_assign_solve_seconds",
+        "Epoch assignment solve latency by engine", ("engine",),
+        buckets=ASSIGN_SOLVE_BUCKETS)
+    solves = registry.counter(
+        f"{p}_assign_solves_total",
+        "Epoch assignment solves by engine", ("engine",))
+    evaluations = registry.counter(
+        f"{p}_assign_candidate_evaluations_total",
+        "Candidate switches scored during placement", ("engine",))
+    rows_built = registry.counter(
+        f"{p}_assign_rows_built_total",
+        "Delta-matrix rows (VIP structures) built", ("engine",))
+    rows_invalidated = registry.counter(
+        f"{p}_assign_rows_invalidated_total",
+        "Delta-matrix rows dropped by invalidation or cache pressure",
+        ("engine",))
+    fallbacks = registry.counter(
+        f"{p}_assign_engine_fallbacks_total",
+        "Solves that fell back to the scalar engine", ("engine",))
+
+    def collect(_registry: MetricsRegistry) -> None:
+        for name, stats in ASSIGN_STATS.items():
+            solves.labels(name).set_total(stats.solves)
+            evaluations.labels(name).set_total(stats.candidate_evaluations)
+            rows_built.labels(name).set_total(stats.rows_built)
+            rows_invalidated.labels(name).set_total(stats.rows_invalidated)
+            fallbacks.labels(name).set_total(stats.fallbacks)
+            for seconds in stats.drain_pending_solves():
+                solve_seconds.labels(name).observe(seconds)
+
+    registry.register_collector(collector_name, collect)
+
+
 def conservation_violations(
     registry: MetricsRegistry, *, prefix: str = DEFAULT_PREFIX,
 ) -> List[str]:
