@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Control-channel overhead microbenchmark (control-channel PR gate).
+
+Every switch-programming op now flows through the epoch-fenced
+:class:`~repro.control.ControlChannel` (sequence stamping, fault
+sampling, watermark bookkeeping).  At zero injected faults the channel
+must be practically free: this benchmark times add_vip/remove_vip
+programming cycles on a bare :class:`SwitchAgent` (``channel=None`` —
+direct in-process calls) and on one attached to a zero-fault channel,
+and writes the relative overhead to ``BENCH_channel.json``.  CI runs it
+with ``--max-overhead 0.05`` — the acceptance bar is that the channel
+costs at most 5% of programming throughput.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_channel.py \
+        [--cycles 2000] [--repeats 5] [--out BENCH_channel.json] \
+        [--max-overhead 0.05]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.control import ControlChannel
+from repro.core.controller import SwitchAgent
+from repro.dataplane import HMux
+from repro.net.bgp import VipRouteTable
+
+SWITCH_IP = 0xAC10_0001
+VIP_BASE = 0x0A00_0001
+DIP_BASE = 0x6400_0001
+N_VIPS = 16
+DIPS_PER_VIP = 8
+
+
+def paired_times(
+    base_fn: Callable[[], object],
+    test_fn: Callable[[], object],
+    repeats: int,
+) -> tuple:
+    """Time ``repeats`` back-to-back (base, test) pairs and return the
+    ``(base_s, test_s)`` pair with the *median* test/base ratio.
+    Pairing keeps the two sides temporally adjacent, so slow drift in
+    machine speed (thermal throttling, a background task ending) biases
+    both sides of a pair equally; the median ratio is robust to outlier
+    pairs in either direction, where independent min-time estimates let
+    one noisy window inflate only one side."""
+    pairs = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        base_fn()
+        base_s = time.perf_counter() - start
+        start = time.perf_counter()
+        test_fn()
+        test_s = time.perf_counter() - start
+        pairs.append((test_s / base_s, base_s, test_s))
+    pairs.sort()
+    _, base_s, test_s = pairs[len(pairs) // 2]
+    return base_s, test_s
+
+
+def make_agent(channel: Optional[ControlChannel]) -> SwitchAgent:
+    return SwitchAgent(
+        0, HMux(SWITCH_IP), VipRouteTable(), channel=channel,
+    )
+
+
+def programming_pass(agent: SwitchAgent, cycles: int) -> None:
+    """``cycles`` add_vip/remove_vip round-trips over a small VIP set
+    (the steady-state churn the controller generates under rebalance)."""
+    for i in range(cycles):
+        vip = VIP_BASE + (i % N_VIPS)
+        base = DIP_BASE + 64 * (i % N_VIPS)
+        agent.add_vip(vip, [base + j for j in range(DIPS_PER_VIP)])
+        agent.remove_vip(vip)
+
+
+def bench(cycles: int, repeats: int) -> Dict[str, float]:
+    bare = make_agent(None)
+    channel = ControlChannel(seed=1)  # zero loss, zero delay
+    channeled = make_agent(channel)
+
+    # Warm both paths (table allocation, route-table dict growth).
+    programming_pass(bare, N_VIPS)
+    programming_pass(channeled, N_VIPS)
+
+    bare_s, channeled_s = paired_times(
+        lambda: programming_pass(bare, cycles),
+        lambda: programming_pass(channeled, cycles),
+        repeats,
+    )
+    # 2 ops (program + withdraw) per cycle.
+    return {
+        "bare_ops_per_s": 2 * cycles / bare_s,
+        "channeled_ops_per_s": 2 * cycles / channeled_s,
+        "overhead": channeled_s / bare_s - 1.0,
+        "channel_sends": channel.stats.sends,
+        "channel_applied": channel.stats.applied,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cycles", type=int, default=4000,
+                        help="add_vip/remove_vip round-trips per pass")
+    parser.add_argument("--repeats", type=int, default=15)
+    parser.add_argument("--out", default="BENCH_channel.json")
+    parser.add_argument(
+        "--max-overhead", type=float, default=None,
+        help="fail (exit 1) if the zero-fault channel overhead exceeds "
+             "this fraction (the PR gate is 0.05)",
+    )
+    args = parser.parse_args(argv)
+
+    numbers = bench(args.cycles, args.repeats)
+    report = {
+        "cycles": args.cycles,
+        "repeats": args.repeats,
+        "programming": numbers,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    print(
+        f"programming: bare {numbers['bare_ops_per_s'] / 1e3:.1f} kops/s, "
+        f"channeled {numbers['channeled_ops_per_s'] / 1e3:.1f} kops/s "
+        f"({numbers['overhead']:+.2%} overhead)"
+    )
+    print(f"wrote {args.out}")
+
+    if args.max_overhead is not None:
+        if numbers["overhead"] > args.max_overhead:
+            print(
+                f"FAIL: control-channel overhead {numbers['overhead']:.2%} "
+                f"exceeds the allowed {args.max_overhead:.2%}",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

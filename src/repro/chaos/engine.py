@@ -63,6 +63,13 @@ class ChaosConfig:
     # Transient-fault model for switch programming (0.0 = no faults).
     fail_prob: float = 0.0
     fault_max_consecutive: int = 2
+    # Control-channel fault injection (0 = reliable channel).  The
+    # values are ceilings: the generator samples loss/delay rates up to
+    # them and keeps at most ``channel_partitions`` switches cut off
+    # from lossy programming ops at once.
+    channel_loss: float = 0.0
+    channel_delay: float = 0.0
+    channel_partitions: int = 0
     # Scripted faults: these switches reject every programming op.
     broken_switches: Tuple[int, ...] = ()
     # Engine behaviour.
@@ -196,6 +203,27 @@ def apply_event(controller: DuetController, event: ChaosEvent) -> None:
         raise ValueError(f"unhandled event kind {kind}")
 
 
+#: Event kinds handled by the engine itself: they mutate the control
+#: channel (and, on heal, drive a timed anti-entropy convergence pass),
+#: never the controller's data plane directly.
+CHANNEL_KINDS = frozenset({
+    EventKind.CHANNEL_LOSS,
+    EventKind.CHANNEL_DELAY,
+    EventKind.CHANNEL_PARTITION,
+    EventKind.CHANNEL_HEAL,
+})
+
+#: Default sampling weights for channel-fault kinds, applied only when
+#: the config enables the corresponding fault.  Heal outweighs injection
+#: slightly so runs keep cycling degraded -> healed -> converged.
+CHANNEL_WEIGHTS = {
+    EventKind.CHANNEL_LOSS: 2.5,
+    EventKind.CHANNEL_DELAY: 2.5,
+    EventKind.CHANNEL_PARTITION: 3.0,
+    EventKind.CHANNEL_HEAL: 3.5,
+}
+
+
 #: Event kinds that mutate the fault plane instead of the controller.
 FAULT_PLANE_KINDS = frozenset({
     EventKind.SILENT_FAIL_SWITCH,
@@ -305,6 +333,9 @@ class ChaosReport:
     #: No-oracle runs only: HealthScorecard.stats() — detection counts,
     #: latencies, false positives.
     health: Optional[Dict[str, Any]] = None
+    #: Control-channel counters (the channel survives crashes) plus
+    #: pending-ops ledger totals folded across every incarnation.
+    channel: Dict[str, int] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -340,11 +371,37 @@ class ChaosEngine:
         # Generator seed is derived from (not equal to) the config seed
         # so event sampling and population synthesis draw independent
         # streams.
+        weights: Dict[EventKind, float] = (
+            dict(NO_ORACLE_WEIGHTS) if config.no_oracle else {}
+        )
+        if config.channel_loss > 0:
+            weights[EventKind.CHANNEL_LOSS] = (
+                CHANNEL_WEIGHTS[EventKind.CHANNEL_LOSS]
+            )
+        if config.channel_delay > 0:
+            weights[EventKind.CHANNEL_DELAY] = (
+                CHANNEL_WEIGHTS[EventKind.CHANNEL_DELAY]
+            )
+        if config.channel_partitions > 0:
+            weights[EventKind.CHANNEL_PARTITION] = (
+                CHANNEL_WEIGHTS[EventKind.CHANNEL_PARTITION]
+            )
+        if (
+            config.channel_loss > 0
+            or config.channel_delay > 0
+            or config.channel_partitions > 0
+        ):
+            weights[EventKind.CHANNEL_HEAL] = (
+                CHANNEL_WEIGHTS[EventKind.CHANNEL_HEAL]
+            )
         self.generator = EventGenerator(
             self.controller,
             seed=config.seed ^ 0x5EED,
-            weights=NO_ORACLE_WEIGHTS if config.no_oracle else None,
+            weights=weights or None,
             fault_plane=self.fault_plane,
+            channel_loss=config.channel_loss,
+            channel_delay=config.channel_delay,
+            channel_partitions=config.channel_partitions,
         )
         # Telemetry: a per-run registry + recorder.  The instrumentation
         # handle survives crash-restarts (rebind in _do_crash) so
@@ -394,6 +451,7 @@ class ChaosEngine:
         self._armed: Optional[Dict[str, int]] = None
         self.crashes = 0
         self._stats_base: Dict[str, float] = {}
+        self._ledger_base: Dict[str, int] = {}
         if config.no_oracle:
             from repro.health import (
                 HealthConfig, HealthMonitor, HealthScorecard,
@@ -478,14 +536,78 @@ class ChaosEngine:
         self._armed = None
         self.crashes += 1
 
+    def _apply_channel_event(self, event: ChaosEvent) -> List[Violation]:
+        """Apply one control-channel event.  A heal is immediately
+        followed by a duplicate-redelivery pump and a timed anti-entropy
+        convergence pass; failing to converge on a *fully* healed
+        channel is an engine-level violation (with faults still active
+        elsewhere, residual drift is expected and left to later heals).
+        """
+        import time
+
+        from repro.durability import AntiEntropyReconciler
+
+        channel = self.controller.channel
+        kind, params = event.kind, event.params
+        if kind is EventKind.CHANNEL_LOSS:
+            channel.set_loss(params["loss"])
+            return []
+        if kind is EventKind.CHANNEL_DELAY:
+            channel.set_delay(params["delay"])
+            return []
+        if kind is EventKind.CHANNEL_PARTITION:
+            channel.partition(f"switch:{params['switch']}")
+            return []
+        assert kind is EventKind.CHANNEL_HEAL, kind
+        switch = params.get("switch")
+        channel.heal(None if switch is None else f"switch:{switch}")
+        channel.pump()
+        started = time.perf_counter()
+        report = AntiEntropyReconciler(self.controller).converge()
+        channel.note_convergence(time.perf_counter() - started)
+        fully_healed = (
+            not channel.partitioned
+            and channel.loss_prob == 0
+            and channel.delay_prob == 0
+        )
+        if fully_healed and not report.converged:
+            return [Violation(
+                "channel-convergence",
+                "intent and installed state failed to converge in "
+                f"{report.rounds} reconcile round(s) after the channel "
+                "fully healed",
+            )]
+        return []
+
     def _accumulate_stats(self) -> None:
         snap = self.controller.stats_snapshot()
         for key in (
             "attempts", "retries", "transient_faults", "degraded",
             "skipped_dead_switch", "backoff_s", "unwinds",
-            "reconcile_rounds", "reconcile_repairs",
+            "reconcile_rounds", "reconcile_repairs", "op_timeouts",
         ):
             self._stats_base[key] = self._stats_base.get(key, 0) + snap[key]
+        # The ledger is per-incarnation too; fold its counters so the
+        # report's channel totals span every controller lifetime.
+        ledger = self.controller.ledger
+        for key in ("opened", "acked", "retries", "timeouts", "rejected"):
+            self._ledger_base[key] = (
+                self._ledger_base.get(key, 0) + getattr(ledger, key)
+            )
+
+    def channel_totals(self) -> Dict[str, int]:
+        """Channel counters (deployment-lifetime) plus ledger totals
+        folded across every controller incarnation."""
+        channel = self.controller.channel
+        totals: Dict[str, int] = dict(channel.stats.as_dict())
+        ledger = self.controller.ledger
+        for key in ("opened", "acked", "retries", "timeouts", "rejected"):
+            totals[f"ledger_{key}"] = (
+                self._ledger_base.get(key, 0) + getattr(ledger, key)
+            )
+        totals["queued_dups"] = channel.queued_dups()
+        totals["epoch"] = channel.epoch
+        return totals
 
     def stats_totals(self) -> Dict[str, float]:
         """Observability counters summed over every controller
@@ -530,12 +652,20 @@ class ChaosEngine:
             event = self._next_event(step)
             if event is None:
                 break
+            channel_violations: List[Violation] = []
             if event.kind is EventKind.CONTROLLER_CRASH:
                 during = event.params.get("during_next")
                 if during is None:
                     self._do_crash()
                 else:
                     self._arm_crash(during)
+            elif event.kind in CHANNEL_KINDS:
+                try:
+                    channel_violations = self._apply_channel_event(event)
+                except SimulatedCrash:
+                    # The post-heal reconcile pass hit an armed crash
+                    # point; recovery's own converge finishes the heal.
+                    self._do_crash()
             elif event.kind in FAULT_PLANE_KINDS:
                 if self.fault_plane is None:
                     raise ValueError(
@@ -574,7 +704,15 @@ class ChaosEngine:
             self.tracker.note(event)
             if self.monitor is not None:
                 self._run_monitor_rounds()
-            violations = self.checker.check() + self.tracker.check()
+            # Redeliver any delayed duplicate commands before checking:
+            # fencing must absorb them without side effects, and the
+            # battery's channel-fencing check sees the result.
+            self.controller.channel.pump()
+            violations = (
+                channel_violations
+                + self.checker.check()
+                + self.tracker.check()
+            )
             if self.scorecard is not None:
                 violations = violations + self.scorecard.check(self.controller)
             # Observe AFTER the checkers: their probe packets are then in
@@ -610,6 +748,7 @@ class ChaosEngine:
             health=(
                 self.scorecard.stats() if self.scorecard is not None else None
             ),
+            channel=self.channel_totals(),
         )
 
 

@@ -65,6 +65,19 @@ class EventKind(enum.Enum):
     #: means the whole switch forwards lossily.
     GRAY_FAILURE = "gray_failure"
     GRAY_RECOVER = "gray_recover"
+    #: Control-channel faults: these mutate the ControlChannel between
+    #: the controller and its devices, never the data plane directly.
+    #: ``channel_loss``/``channel_delay`` set a global probability
+    #: (``{"loss": p}`` / ``{"delay": p}``; 0.0 clears the fault);
+    #: ``channel_partition`` blackholes lossy programming ops to one
+    #: switch (``{"switch": i}``); ``channel_heal`` reconnects one
+    #: switch (``{"switch": i}``) or everything (``{"switch": None}``,
+    #: which also zeroes loss/delay).  Every heal is followed by a
+    #: timed anti-entropy convergence pass in the engine.
+    CHANNEL_LOSS = "channel_loss"
+    CHANNEL_DELAY = "channel_delay"
+    CHANNEL_PARTITION = "channel_partition"
+    CHANNEL_HEAL = "channel_heal"
 
 
 @dataclass
@@ -113,6 +126,10 @@ DEFAULT_WEIGHTS: Dict[EventKind, float] = {
     EventKind.SILENT_RECOVER_SMUX: 0.0,
     EventKind.GRAY_FAILURE: 0.0,
     EventKind.GRAY_RECOVER: 0.0,
+    EventKind.CHANNEL_LOSS: 0.0,
+    EventKind.CHANNEL_DELAY: 0.0,
+    EventKind.CHANNEL_PARTITION: 0.0,
+    EventKind.CHANNEL_HEAL: 0.0,
 }
 
 #: Controller lifecycle ops the engine may NOT call in no-oracle mode:
@@ -174,8 +191,17 @@ class EventGenerator:
         max_cut_cables: int = 3,
         max_vips: Optional[int] = None,
         fault_plane=None,
+        channel_loss: float = 0.0,
+        channel_delay: float = 0.0,
+        channel_partitions: int = 0,
     ) -> None:
         self.controller = controller
+        #: Ceilings for the channel-fault builders: the sampled loss and
+        #: delay rates never exceed these, and at most
+        #: ``channel_partitions`` switches are partitioned at once.
+        self.channel_loss = channel_loss
+        self.channel_delay = channel_delay
+        self.channel_partitions = channel_partitions
         #: A :class:`repro.health.faults.FaultPlane` in no-oracle runs;
         #: the silent/gray builders read it for feasibility (never
         #: silently fail an already-dead switch, only recover dead ones).
@@ -486,6 +512,69 @@ class EventGenerator:
         return ChaosEvent(
             EventKind.GRAY_RECOVER, {"switch": switch, "vip": vip}
         )
+
+    # -- control-channel builders ------------------------------------------
+
+    def _sample_channel_rate(self, ceiling: float) -> float:
+        """A fault rate in (0, ceiling], or 0.0 (~40% of draws) to clear
+        the fault so runs alternate between degraded and clean phases."""
+        if self.rng.random() < 0.4:
+            return 0.0
+        return round(self.rng.choice([0.25, 0.5, 1.0]) * ceiling, 6)
+
+    def _build_channel_loss(self) -> Optional[ChaosEvent]:
+        if self.channel_loss <= 0:
+            return None
+        return ChaosEvent(EventKind.CHANNEL_LOSS, {
+            "loss": self._sample_channel_rate(self.channel_loss),
+        })
+
+    def _build_channel_delay(self) -> Optional[ChaosEvent]:
+        if self.channel_delay <= 0:
+            return None
+        return ChaosEvent(EventKind.CHANNEL_DELAY, {
+            "delay": self._sample_channel_rate(self.channel_delay),
+        })
+
+    def _build_channel_partition(self) -> Optional[ChaosEvent]:
+        c = self.controller
+        channel = getattr(c, "channel", None)
+        if channel is None or self.channel_partitions <= 0:
+            return None
+        partitioned = {
+            int(dev.split(":", 1)[1])
+            for dev in channel.partitioned
+            if dev.startswith("switch:")
+        }
+        if len(partitioned) >= self.channel_partitions:
+            return None
+        live = sorted(
+            set(c.switch_agents) - c.failed_switches - partitioned
+        )
+        if not live:
+            return None
+        return ChaosEvent(EventKind.CHANNEL_PARTITION, {
+            "switch": self.rng.choice(live),
+        })
+
+    def _build_channel_heal(self) -> Optional[ChaosEvent]:
+        c = self.controller
+        channel = getattr(c, "channel", None)
+        if channel is None:
+            return None
+        partitioned = sorted(
+            int(dev.split(":", 1)[1])
+            for dev in channel.partitioned
+            if dev.startswith("switch:")
+        )
+        if partitioned:
+            return ChaosEvent(EventKind.CHANNEL_HEAL, {
+                "switch": self.rng.choice(partitioned),
+            })
+        if channel.loss_prob > 0 or channel.delay_prob > 0:
+            # Heal-all: clears loss/delay too, forcing a convergence pass.
+            return ChaosEvent(EventKind.CHANNEL_HEAL, {"switch": None})
+        return None
 
     def _build_enable_snat(self) -> Optional[ChaosEvent]:
         c = self.controller

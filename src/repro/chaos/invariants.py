@@ -83,6 +83,7 @@ class InvariantChecker:
         violations += self.check_consistency()
         violations += self.check_snat_disjoint()
         violations += self.check_intent_matches_dataplane()
+        violations += self.check_channel_fencing()
         violations += self.check_metrics_conservation()
         return violations
 
@@ -295,6 +296,22 @@ class InvariantChecker:
                     f"SNAT manager for removed VIP {format_ip(vip_addr)}",
                 ))
         return violations
+
+    def check_channel_fencing(self) -> List[Violation]:
+        """No stale or duplicate control-channel delivery may ever
+        mutate a device: the channel's ``stale_applied`` counter records
+        every delivery that got past the (epoch, seq) fence and still
+        applied.  It must stay 0 for the life of the deployment."""
+        channel = getattr(self.controller, "channel", None)
+        if channel is None:
+            return []
+        if channel.stats.stale_applied == 0:
+            return []
+        return [Violation(
+            "channel-fencing",
+            f"{channel.stats.stale_applied} stale/duplicate control "
+            "command(s) were applied past the (epoch, seq) fence",
+        )]
 
     def check_metrics_conservation(self) -> List[Violation]:
         """Conservation laws computed purely from the metrics registry

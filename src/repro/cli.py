@@ -153,6 +153,19 @@ def _build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--crash-prob", type=float, default=0.0,
                        help="per-step probability of killing the controller "
                             "and restoring it from its write-ahead journal")
+    chaos.add_argument("--channel-loss", type=float, default=0.0,
+                       metavar="PROB",
+                       help="ceiling on injected control-channel command "
+                            "loss probability (programming ops only)")
+    chaos.add_argument("--channel-delay", type=float, default=0.0,
+                       metavar="PROB",
+                       help="ceiling on injected control-channel duplicate-"
+                            "delivery probability (fencing must absorb the "
+                            "redelivered copies)")
+    chaos.add_argument("--channel-partition", type=int, default=0,
+                       metavar="N",
+                       help="max switches concurrently partitioned from "
+                            "the control channel")
     chaos.add_argument("--journal", metavar="PATH", default=None,
                        help="write the final write-ahead journal (JSONL) "
                             "here; feed it to 'recover' to audit restores")
@@ -462,6 +475,9 @@ def _cmd_chaos(args) -> int:
         sabotage_step=args.sabotage_at,
         crash_prob=args.crash_prob,
         snapshot_interval=args.snapshot_interval,
+        channel_loss=args.channel_loss,
+        channel_delay=args.channel_delay,
+        channel_partitions=args.channel_partition,
     )
     engine = ChaosEngine(config)
     started = time.monotonic()
@@ -483,6 +499,23 @@ def _cmd_chaos(args) -> int:
               f"{stats['reconcile_repairs']:g} repairs, "
               f"{stats['journal_ops']:g} journaled ops, "
               f"{stats['journal_snapshots']:g} snapshots)")
+    if (
+        config.channel_loss > 0
+        or config.channel_delay > 0
+        or config.channel_partitions > 0
+    ):
+        ch = report.channel
+        print(f"control channel: {ch['sends']} sends, "
+              f"{ch['losses']} lost, {ch['partition_drops']} partition "
+              f"drops, {ch['delayed_dups']} dup deliveries "
+              f"({ch['dup_drops']} fence-dropped), "
+              f"{ch['fence_rejects']} stale-epoch rejects, "
+              f"{ch['stale_applied']} fencing violations")
+        print(f"pending-ops ledger: {ch['ledger_opened']} opened, "
+              f"{ch['ledger_acked']} acked, {ch['ledger_retries']} "
+              f"retries, {ch['ledger_timeouts']} timeouts "
+              f"(degraded to SMux), {ch['ledger_rejected']} rejected; "
+              f"epoch {ch['epoch']}")
     if report.metric_deltas:
         print("top metric deltas over the soak:")
         for name, delta in report.metric_deltas:

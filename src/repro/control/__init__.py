@@ -1,0 +1,24 @@
+"""Fault-injectable control channel (epoch fencing, retry policy,
+pending-ops ledger) between the Duet controller and its device fleet."""
+
+from repro.control.channel import (
+    LOSSY_OPS,
+    ChannelSendError,
+    ChannelStats,
+    ControlChannel,
+    OpTicket,
+    PendingOpsLedger,
+)
+from repro.control.retry import RetryPolicy, RetryPolicyError, RetrySchedule
+
+__all__ = [
+    "LOSSY_OPS",
+    "ChannelSendError",
+    "ChannelStats",
+    "ControlChannel",
+    "OpTicket",
+    "PendingOpsLedger",
+    "RetryPolicy",
+    "RetryPolicyError",
+    "RetrySchedule",
+]

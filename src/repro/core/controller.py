@@ -21,10 +21,17 @@ modelled by :mod:`repro.sim`; operations here take effect immediately.
 
 from __future__ import annotations
 
+import random
 from contextlib import contextmanager
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
+from repro.control import (
+    ChannelSendError,
+    ControlChannel,
+    PendingOpsLedger,
+    RetryPolicy,
+)
 from repro.core.assignment import (
     Assignment,
     AssignmentConfig,
@@ -66,9 +73,18 @@ class ControllerError(Exception):
 
 
 class SwitchProgrammingError(ControllerError):
-    """A switch-agent programming RPC failed transiently (injected by a
-    :class:`~repro.net.failures.FaultModel`).  The controller retries
+    """A switch-agent programming RPC failed transiently — a device-side
+    fault injected by a :class:`~repro.net.failures.FaultModel`, or a
+    command lost/partitioned on the
+    :class:`~repro.control.ControlChannel`.  The controller retries
     with backoff and ultimately degrades the VIP to SMux-only."""
+
+
+#: Seed salts deriving the per-deployment channel RNG and the retry
+#: jitter RNG from ``hash_seed``, so distinct deployments (and distinct
+#: chaos seeds) see distinct fault streams without any implicit seeding.
+CHANNEL_SEED_SALT = 0xC4A77E1
+RETRY_RNG_SALT = 0x2E7721
 
 
 class SimulatedCrash(Exception):
@@ -93,6 +109,7 @@ class ProgrammingStats:
     unwinds: int = 0               # partial-VIP teardowns after a fault
     reconcile_rounds: int = 0      # anti-entropy rounds run post-recovery
     reconcile_repairs: int = 0     # drift repairs those rounds made
+    op_timeouts: int = 0           # ops whose retry deadline expired
 
 
 class SwitchAgent:
@@ -112,12 +129,21 @@ class SwitchAgent:
         hmux: HMux,
         route_table: VipRouteTable,
         fault_model: Optional[FaultModel] = None,
+        channel: Optional[ControlChannel] = None,
     ) -> None:
         self.switch_index = switch_index
         self.hmux = hmux
         self.route_table = route_table
         self.mux_ref = MuxRef.hmux(switch_index)
         self.fault_model = fault_model
+        # The control channel this agent is programmed over; None means
+        # direct in-process calls (bare agents in unit tests/benchmarks).
+        self.channel = channel
+        self.device_id = f"switch:{switch_index}"
+        # Route-announce versions captured at announce time, passed back
+        # on withdraw so a stale (reordered) withdraw cannot erase a
+        # newer announcement (see VipRouteTable.withdraw).
+        self._announce_versions: Dict[int, Optional[int]] = {}
         # Set by DuetController.attach_tracer; every hook is a no-op
         # while this stays None.
         self.tracer = None
@@ -131,71 +157,132 @@ class SwitchAgent:
                 f"switch {self.switch_index}"
             )
 
+    def _send(self, op: str, fn):
+        """Deliver one device mutation over the control channel (or
+        directly when no channel is attached).  Channel loss/partition
+        surfaces as :class:`SwitchProgrammingError` so the controller's
+        retry/degrade path treats it like any transient RPC fault."""
+        if self.channel is None:
+            return fn()
+        try:
+            return self.channel.send(self.device_id, op, fn)
+        except ChannelSendError as error:
+            raise SwitchProgrammingError(str(error)) from error
+
     def add_vip(
         self,
         vip: int,
         encap_ips: Sequence[int],
         weights: Optional[Sequence[float]] = None,
     ) -> None:
-        """Program the tables, then announce the /32 (make-before-break)."""
+        """Program the tables, then announce the /32 (make-before-break).
+
+        Idempotent under duplicate delivery: re-applying with the same
+        encap targets leaves the tables, counters, and layout version
+        untouched (the announce is a no-op when the route exists)."""
         with maybe_span(
             self.tracer, "hmux.program",
             switch=self.switch_index, vip=format_ip(vip),
         ):
-            self._check_fault("program_vip", vip)
-            self.hmux.program_vip(vip, encap_ips, weights)
-            trace_event(
-                self.tracer, "bgp.announce",
-                vip=format_ip(vip), mux=str(self.mux_ref),
-            )
-            self.route_table.announce(Prefix.host(vip), self.mux_ref)
+            def apply() -> None:
+                self._check_fault("program_vip", vip)
+                if not (
+                    self.hmux.has_vip(vip)
+                    and sorted(self.hmux.dips_of(vip)) == sorted(encap_ips)
+                ):
+                    self.hmux.program_vip(vip, encap_ips, weights)
+                trace_event(
+                    self.tracer, "bgp.announce",
+                    vip=format_ip(vip), mux=str(self.mux_ref),
+                )
+                prefix = Prefix.host(vip)
+                self.route_table.announce(prefix, self.mux_ref)
+                self._announce_versions[vip] = (
+                    self.route_table.announce_version(prefix, self.mux_ref)
+                )
+
+            self._send("program_vip", apply)
 
     def remove_vip(self, vip: int) -> None:
         """Withdraw the /32 first (traffic falls to SMux), then free the
-        tables — the stepping-stone order of S4.2."""
+        tables — the stepping-stone order of S4.2.  Idempotent: removing
+        an absent VIP is a no-op, and the withdraw carries the announce
+        version so it can never erase a newer re-announcement."""
         with maybe_span(
             self.tracer, "hmux.remove",
             switch=self.switch_index, vip=format_ip(vip),
         ):
-            trace_event(
-                self.tracer, "bgp.withdraw",
-                vip=format_ip(vip), mux=str(self.mux_ref),
-            )
-            self.route_table.withdraw(Prefix.host(vip), self.mux_ref)
-            self.hmux.remove_vip(vip)
+            def apply() -> None:
+                trace_event(
+                    self.tracer, "bgp.withdraw",
+                    vip=format_ip(vip), mux=str(self.mux_ref),
+                )
+                version = self._announce_versions.pop(vip, None)
+                self.route_table.withdraw(
+                    Prefix.host(vip), self.mux_ref, version=version
+                )
+                if self.hmux.has_vip(vip):
+                    self.hmux.remove_vip(vip)
+
+            self._send("withdraw_vip", apply)
 
     def add_vip_port_rules(
         self,
         vip: int,
         port_pools: Sequence[Tuple[int, Sequence[int]]],
     ) -> None:
-        """Install the per-port ACL pools alongside the VIP (Figure 8)."""
+        """Install the per-port ACL pools alongside the VIP (Figure 8).
+        Each port rule is its own command (and its own fault point);
+        re-delivery of an installed rule is a no-op."""
         for port, pool in port_pools:
-            self._check_fault("program_vip_port", vip)
-            self.hmux.program_vip_port(vip, port, list(pool))
+            def apply(port: int = port, pool=pool) -> None:
+                self._check_fault("program_vip_port", vip)
+                if not self.hmux.has_vip_port(vip, port):
+                    self.hmux.program_vip_port(vip, port, list(pool))
+
+            self._send("program_vip_port", apply)
 
     def remove_vip_port_rules(
         self,
         vip: int,
         ports: Sequence[int],
     ) -> None:
-        for port in ports:
-            self.hmux.remove_vip_port(vip, port)
+        def apply() -> None:
+            for port in ports:
+                if self.hmux.has_vip_port(vip, port):
+                    self.hmux.remove_vip_port(vip, port)
+
+        self._send("withdraw_vip_port", apply)
 
     def remove_dip(self, vip: int, encap_ip: int) -> int:
-        return self.hmux.remove_dip(vip, encap_ip)
+        """Idempotent DIP removal: an already-removed (or never-present)
+        encap target remaps zero slots instead of raising."""
+        def apply() -> int:
+            if (
+                not self.hmux.has_vip(vip)
+                or encap_ip not in self.hmux.dips_of(vip)
+            ):
+                return 0
+            return self.hmux.remove_dip(vip, encap_ip)
+
+        return self._send("remove_dip", apply)
 
     def fail(self) -> int:
         """Switch death: all announcements disappear via BGP withdrawals
         from the neighbours (S5.1), and the ASIC tables are wiped — state
         really is lost with the switch, so a later recovery starts from
-        an empty HMux.  Returns the number of routes withdrawn."""
+        an empty HMux.  Queued duplicate deliveries die with it: the
+        replacement must not see ghosts of the previous life.  Returns
+        the number of routes withdrawn."""
         withdrawn = self.route_table.withdraw_all(self.mux_ref)
+        self._announce_versions.clear()
         trace_event(
             self.tracer, "bgp.withdraw_all",
             mux=str(self.mux_ref), routes=withdrawn,
         )
         self.hmux.reset()
+        if self.channel is not None:
+            self.channel.purge_device(self.device_id)
         return withdrawn
 
 
@@ -246,6 +333,8 @@ class DuetController:
         fault_model: Optional[FaultModel] = None,
         max_program_attempts: int = 3,
         retry_backoff_s: float = 0.05,
+        channel: Optional[ControlChannel] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if n_smuxes < 1:
             raise ControllerError("need at least one SMux")
@@ -260,6 +349,23 @@ class DuetController:
         self.assignment: Optional[Assignment] = None
         self.max_program_attempts = max_program_attempts
         self.retry_backoff_s = retry_backoff_s
+        # Control-channel plumbing (see repro.control): every device
+        # mutation below — switch agents, SMuxes, host agents — is
+        # delivered as an epoch-fenced command.  The channel belongs to
+        # the deployment (it survives controller crashes with the
+        # dataplane); the ledger and retry RNG are per-incarnation.
+        self.channel = channel if channel is not None else ControlChannel(
+            seed=hash_seed ^ CHANNEL_SEED_SALT
+        )
+        self.ledger = PendingOpsLedger()
+        self.retry_policy = (
+            retry_policy if retry_policy is not None
+            else RetryPolicy(
+                max_attempts=max_program_attempts,
+                base_backoff_s=retry_backoff_s,
+            )
+        )
+        self._retry_rng = random.Random(hash_seed ^ RETRY_RNG_SALT)
         self.programming_stats = ProgrammingStats()
         self._fault_model = fault_model
         # Durability plumbing (see repro.durability): no journal until
@@ -286,6 +392,7 @@ class DuetController:
                 ),
                 self.route_table,
                 fault_model=fault_model,
+                channel=self.channel,
             )
             for s in topology.switches
         }
@@ -309,6 +416,28 @@ class DuetController:
             self._register_vip(vip)
         self._announce_smux_aggregates()
 
+    # -- control channel ---------------------------------------------------------
+
+    def send_command(self, device: str, op: str, fn):
+        """Deliver one management-plane mutation (SMux / host-agent
+        programming) as an epoch-fenced command over the control
+        channel.  These ops ride the reliable management fabric — only
+        the switch programming ops are subject to injected loss and
+        partitions (see :data:`repro.control.LOSSY_OPS`) — but every
+        delivery is sequenced and fenced, so duplicates are harmless."""
+        return self.channel.send(device, op, fn)
+
+    def _push_vip_to_smux(self, smux: SMux, record: "VipRecord") -> None:
+        self.send_command(
+            f"smux:{smux.smux_id}",
+            "smux_set_vip",
+            lambda: smux.set_vip(
+                record.addr,
+                record.encap_targets(self.virtualized),
+                record.encap_weights(),
+            ),
+        )
+
     # -- bootstrap --------------------------------------------------------------
 
     def _register_vip(self, vip: Vip) -> None:
@@ -322,13 +451,15 @@ class DuetController:
         for dip in vip.dips:
             self._attach_dip(vip.addr, dip)
         for smux in self.smuxes:
-            smux.set_vip(
-                vip.addr,
-                record.encap_targets(self.virtualized),
-                record.encap_weights(),
-            )
+            self._push_vip_to_smux(smux, record)
             for port, pool in vip.port_pools:
-                smux.set_vip_port(vip.addr, port, list(pool))
+                self.send_command(
+                    f"smux:{smux.smux_id}",
+                    "smux_set_vip_port",
+                    lambda smux=smux, port=port, pool=pool: smux.set_vip_port(
+                        vip.addr, port, list(pool)
+                    ),
+                )
 
     def _attach_dip(self, vip_addr: int, dip: Dip) -> None:
         agent = self.host_agents.get(dip.server_id)
@@ -336,7 +467,11 @@ class DuetController:
             agent = HostAgent(host_address(dip.server_id))
             agent.hash_seed = self.hash_seed
             self.host_agents[dip.server_id] = agent
-        agent.register_dip(dip.addr, vip_addr)
+        self.send_command(
+            f"host:{dip.server_id}",
+            "host_register_dip",
+            lambda: agent.register_dip(dip.addr, vip_addr),
+        )
         self._dip_to_server[dip.addr] = dip.server_id
 
     def _announce_smux_aggregates(self) -> None:
@@ -378,6 +513,7 @@ class DuetController:
                 "virtualized": self.virtualized,
                 "max_program_attempts": self.max_program_attempts,
                 "retry_backoff_s": self.retry_backoff_s,
+                "retry_policy": asdict(self.retry_policy),
                 "snapshot_interval": self._snapshot_interval,
             })
         journal.write_snapshot(snapshot_state(self), force=True)
@@ -510,6 +646,7 @@ class DuetController:
             "unwinds": s.unwinds,
             "reconcile_rounds": s.reconcile_rounds,
             "reconcile_repairs": s.reconcile_repairs,
+            "op_timeouts": s.op_timeouts,
             "journal_ops": 0,
             "journal_snapshots": 0,
         }
@@ -637,13 +774,14 @@ class DuetController:
         """
         agent = self.switch_agents[switch_index]
         stats = self.programming_stats
-        backoff = self.retry_backoff_s
-        for attempt in range(self.max_program_attempts):
+        ticket = self.ledger.open(
+            agent.device_id, "program_vip", vip=record.addr
+        )
+        schedule = self.retry_policy.start(self._retry_rng)
+        while True:
             stats.attempts += 1
-            if attempt > 0:
-                stats.retries += 1
-                stats.backoff_s += backoff
-                backoff *= 2
+            ticket.attempts += 1
+            self._crash_point(f"program:{vip.vip_id}:{switch_index}")
             try:
                 agent.add_vip(
                     record.addr,
@@ -652,15 +790,28 @@ class DuetController:
                 )
                 if vip.port_pools:
                     agent.add_vip_port_rules(record.addr, vip.port_pools)
+                self.ledger.ack(ticket)
                 return True
             except SwitchProgrammingError:
                 stats.transient_faults += 1
                 self._unwind_partial_vip(agent, vip)
-                continue
+                delay = schedule.next_backoff()
+                if delay is None:
+                    # Retry budget / deadline spent: abandon the op,
+                    # degrade to SMux coverage (the caller's job), and
+                    # hand the device to the anti-entropy reconciler.
+                    stats.op_timeouts += 1
+                    self.ledger.timeout(ticket)
+                    return False
+                stats.retries += 1
+                self.ledger.note_retry(ticket)
+                stats.backoff_s += delay
             except TableEntryError:
+                # Deterministic capacity NACK, not a channel fault:
+                # fail fast, no retry.
                 self._unwind_partial_vip(agent, vip)
+                self.ledger.reject(ticket)
                 return False
-        return False
 
     def _unwind_partial_vip(self, agent: SwitchAgent, vip: Vip) -> None:
         """Remove whatever slice of a VIP landed before a programming
@@ -711,10 +862,18 @@ class DuetController:
             self.switch_agents[record.assigned_switch].remove_vip(vip_addr)
         for smux in self.smuxes:
             if smux.has_vip(vip_addr):
-                smux.remove_vip(vip_addr)
+                self.send_command(
+                    f"smux:{smux.smux_id}",
+                    "smux_remove_vip",
+                    lambda smux=smux: smux.remove_vip(vip_addr),
+                )
         for dip in record.dips:
             agent = self.host_agents[dip.server_id]
-            agent.unregister_dip(dip.addr)
+            self.send_command(
+                f"host:{dip.server_id}",
+                "host_unregister_dip",
+                lambda agent=agent, dip=dip: agent.unregister_dip(dip.addr),
+            )
             del self._dip_to_server[dip.addr]
         self.population.remove(vip_addr)
         self.degraded_vips.discard(vip_addr)
@@ -746,11 +905,7 @@ class DuetController:
             record.dips.append(dip)
             self._attach_dip(vip_addr, dip)
             for smux in self.smuxes:
-                smux.set_vip(
-                    vip_addr,
-                    record.encap_targets(self.virtualized),
-                    record.encap_weights(),
-                )
+                self._push_vip_to_smux(smux, record)
             # Step 3: move the VIP back to its HMux (through the same guarded
             # retry path as plan execution: a dead or unprogrammable switch
             # leaves the VIP on the SMux backstop instead of raising).
@@ -862,13 +1017,13 @@ class DuetController:
                     vip_addr, target
                 )
             for smux in self.smuxes:
-                smux.set_vip(
-                    vip_addr,
-                    record.encap_targets(self.virtualized),
-                    record.encap_weights(),
-                )
+                self._push_vip_to_smux(smux, record)
             agent = self.host_agents[dip.server_id]
-            agent.unregister_dip(dip.addr)
+            self.send_command(
+                f"host:{dip.server_id}",
+                "host_unregister_dip",
+                lambda: agent.unregister_dip(dip.addr),
+            )
             del self._dip_to_server[dip.addr]
 
     def dip_failure(self, vip_addr: int, dip_addr: int) -> None:
@@ -942,6 +1097,10 @@ class DuetController:
             ref = MuxRef.smux(smux_id)
             self.route_table.withdraw_all(ref)
             self.smuxes = alive
+            # Late duplicates addressed to the dead instance must not
+            # be mistaken for commands to a future one (ids are never
+            # reused, but the queue should not hold corpses either).
+            self.channel.purge_device(f"smux:{smux_id}")
 
     def add_smux(self) -> SMux:
         """Scale out the backstop: stand up a new SMux, program *every*
@@ -959,13 +1118,15 @@ class DuetController:
             self._next_smux_id = smux_id + 1
             for addr in sorted(self._records):
                 record = self._records[addr]
-                smux.set_vip(
-                    record.addr,
-                    record.encap_targets(self.virtualized),
-                    record.encap_weights(),
-                )
+                self._push_vip_to_smux(smux, record)
                 for port, pool in record.vip.port_pools:
-                    smux.set_vip_port(record.addr, port, list(pool))
+                    self.send_command(
+                        f"smux:{smux.smux_id}",
+                        "smux_set_vip_port",
+                        lambda port=port, pool=pool: smux.set_vip_port(
+                            record.addr, port, list(pool)
+                        ),
+                    )
             self.smuxes.append(smux)
             ref = MuxRef.smux(smux.smux_id)
             for aggregate in SMUX_AGGREGATES:
@@ -1131,17 +1292,21 @@ class DuetController:
                 from repro.dataplane.hostagent import SnatConfig
 
                 port_range = manager.allocate(dip.addr)
-                self.host_agents[dip.server_id].configure_snat(
-                    dip.addr,
-                    SnatConfig(
-                        vip=vip_addr,
-                        n_slots=len(dip_addrs),
-                        my_slots=slots_of_dip(
-                            dip_addrs, dip.addr, hash_seed=self.hash_seed
-                        ),
-                        port_range=port_range.as_tuple(),
-                        hash_seed=self.hash_seed,
+                snat_config = SnatConfig(
+                    vip=vip_addr,
+                    n_slots=len(dip_addrs),
+                    my_slots=slots_of_dip(
+                        dip_addrs, dip.addr, hash_seed=self.hash_seed
                     ),
+                    port_range=port_range.as_tuple(),
+                    hash_seed=self.hash_seed,
+                )
+                self.send_command(
+                    f"host:{dip.server_id}",
+                    "host_configure_snat",
+                    lambda dip=dip, cfg=snat_config: self.host_agents[
+                        dip.server_id
+                    ].configure_snat(dip.addr, cfg),
                 )
 
     def grant_snat_range(self, vip_addr: int, dip_addr: int):
@@ -1173,16 +1338,20 @@ class DuetController:
         ):
             port_range = manager.allocate(dip_addr)
             dip_addrs = record.dip_addrs()
-            self.host_agents[dip.server_id].configure_snat(
-                dip.addr,
-                SnatConfig(
-                    vip=vip_addr,
-                    n_slots=len(dip_addrs),
-                    my_slots=slots_of_dip(
-                        dip_addrs, dip.addr, hash_seed=self.hash_seed
-                    ),
-                    port_range=port_range.as_tuple(),
-                    hash_seed=self.hash_seed,
+            snat_config = SnatConfig(
+                vip=vip_addr,
+                n_slots=len(dip_addrs),
+                my_slots=slots_of_dip(
+                    dip_addrs, dip.addr, hash_seed=self.hash_seed
+                ),
+                port_range=port_range.as_tuple(),
+                hash_seed=self.hash_seed,
+            )
+            self.send_command(
+                f"host:{dip.server_id}",
+                "host_configure_snat",
+                lambda: self.host_agents[dip.server_id].configure_snat(
+                    dip.addr, snat_config
                 ),
             )
         return port_range

@@ -85,8 +85,13 @@ class AntiEntropyReconciler:
                 if not made:
                     break
             self.controller.checkpoint()
+        converged = not made
+        if converged:
+            # Devices handed to anti-entropy after an op deadline are
+            # now provably back at intent: close the hand-off.
+            self.controller.ledger.mark_reconciled()
         return ReconcileReport(
-            rounds=rounds, repairs=repairs, converged=not made,
+            rounds=rounds, repairs=repairs, converged=converged,
         )
 
     # -- one round ---------------------------------------------------------
@@ -147,7 +152,11 @@ class AntiEntropyReconciler:
                         f"{format_ip(dip_addr)}"
                     )
                     if repair:
-                        agent.unregister_dip(dip_addr)
+                        c.send_command(
+                            f"host:{server}",
+                            "host_unregister_dip",
+                            lambda a=agent, d=dip_addr: a.unregister_dip(d),
+                        )
         return found
 
     def _sync_switch_programming(self, repair: bool) -> List[str]:
@@ -334,7 +343,12 @@ class AntiEntropyReconciler:
                         "targets diverge from intent"
                     )
                     if repair:
-                        smux.set_vip(addr, target, record.encap_weights())
+                        c.send_command(
+                            f"smux:{smux.smux_id}",
+                            "smux_set_vip",
+                            lambda s=smux, a=addr, t=target, r=record:
+                                s.set_vip(a, t, r.encap_weights()),
+                        )
             installed = set(smux.port_vips())
             for key in sorted(set(expected_ports) - installed):
                 addr, port = key
@@ -343,21 +357,34 @@ class AntiEntropyReconciler:
                     f"{format_ip(addr)}:{port}"
                 )
                 if repair:
-                    smux.set_vip_port(addr, port, expected_ports[key])
+                    c.send_command(
+                        f"smux:{smux.smux_id}",
+                        "smux_set_vip_port",
+                        lambda s=smux, a=addr, p=port, pool=expected_ports[key]:
+                            s.set_vip_port(a, p, pool),
+                    )
             for addr, port in sorted(installed - set(expected_ports)):
                 found.append(
                     f"SMux {smux.smux_id} stray port pool "
                     f"{format_ip(addr)}:{port}"
                 )
                 if repair:
-                    smux.remove_vip_port(addr, port)
+                    c.send_command(
+                        f"smux:{smux.smux_id}",
+                        "smux_remove_vip_port",
+                        lambda s=smux, a=addr, p=port: s.remove_vip_port(a, p),
+                    )
             for addr in sorted(set(smux.vips()) - set(c._records)):
                 found.append(
                     f"SMux {smux.smux_id} still serves removed VIP "
                     f"{format_ip(addr)}"
                 )
                 if repair:
-                    smux.remove_vip(addr)
+                    c.send_command(
+                        f"smux:{smux.smux_id}",
+                        "smux_remove_vip",
+                        lambda s=smux, a=addr: s.remove_vip(a),
+                    )
         return found
 
     def _sync_snat(self, repair: bool) -> List[str]:
@@ -390,7 +417,7 @@ class AntiEntropyReconciler:
                     f"{format_ip(vip_addr)} missing or stale"
                 )
                 if repair and agent is not None:
-                    agent.configure_snat(dip.addr, SnatConfig(
+                    snat_config = SnatConfig(
                         vip=vip_addr,
                         n_slots=len(dip_addrs),
                         my_slots=slots_of_dip(
@@ -398,7 +425,13 @@ class AntiEntropyReconciler:
                         ),
                         port_range=want,
                         hash_seed=c.hash_seed,
-                    ))
+                    )
+                    c.send_command(
+                        f"host:{dip.server_id}",
+                        "host_configure_snat",
+                        lambda a=agent, d=dip, cfg=snat_config:
+                            a.configure_snat(d.addr, cfg),
+                    )
         return found
 
 

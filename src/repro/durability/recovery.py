@@ -137,12 +137,16 @@ class IntentVip:
 @dataclass
 class SurvivingDataplane:
     """What outlives a controller crash: the programmed switches, the
-    SMux fleet, the host agents, and the BGP route table they share."""
+    SMux fleet, the host agents, the BGP route table they share — and
+    the control channel, whose device-side fencing watermarks and
+    still-queued duplicate deliveries are network state, not controller
+    state."""
 
     route_table: Any
     switch_agents: Dict[int, Any]
     smuxes: List[Any]
     host_agents: Dict[int, Any]
+    channel: Any = None
 
 
 def harvest_dataplane(controller) -> SurvivingDataplane:
@@ -153,6 +157,7 @@ def harvest_dataplane(controller) -> SurvivingDataplane:
         switch_agents=controller.switch_agents,
         smuxes=list(controller.smuxes),
         host_agents=controller.host_agents,
+        channel=controller.channel,
     )
 
 
@@ -464,7 +469,12 @@ def restore_controller(
     — run :class:`~repro.durability.reconcile.AntiEntropyReconciler`
     before serving.
     """
+    import random
+
+    from repro.control import ControlChannel, PendingOpsLedger, RetryPolicy
     from repro.core.controller import (
+        CHANNEL_SEED_SALT,
+        RETRY_RNG_SALT,
         DuetController,
         ProgrammingStats,
         SwitchAgent,
@@ -492,6 +502,19 @@ def restore_controller(
     c.virtualized = meta.get("virtualized", False)
     c.max_program_attempts = meta.get("max_program_attempts", 3)
     c.retry_backoff_s = meta.get("retry_backoff_s", 0.05)
+    retry_meta = meta.get("retry_policy")
+    c.retry_policy = (
+        RetryPolicy(**retry_meta) if retry_meta is not None
+        else RetryPolicy(
+            max_attempts=c.max_program_attempts,
+            base_backoff_s=c.retry_backoff_s,
+        )
+    )
+    c._retry_rng = random.Random(c.hash_seed ^ RETRY_RNG_SALT)
+    # The ledger is per-incarnation: in-flight unacked ops of the dead
+    # controller are re-derived from the journal's uncommitted tail (the
+    # roll-forward above) — that is the ledger replay.
+    c.ledger = PendingOpsLedger()
     c.programming_stats = ProgrammingStats()
     c._fault_model = fault_model
     c._journal = None
@@ -502,6 +525,11 @@ def restore_controller(
     c._tap = None
 
     if dataplane is None:
+        # Cold restart: fresh channel at a bumped epoch (epoch 0 was the
+        # dead deployment's; nothing of it survives, but the bump keeps
+        # the "new incarnation -> new epoch" rule uniform).
+        c.channel = ControlChannel(seed=c.hash_seed ^ CHANNEL_SEED_SALT)
+        c.channel.bump_epoch()
         c.route_table = VipRouteTable()
         c.switch_agents = {
             s.index: SwitchAgent(
@@ -513,14 +541,26 @@ def restore_controller(
                 ),
                 c.route_table,
                 fault_model=fault_model,
+                channel=c.channel,
             )
             for s in topology.switches
         }
         surviving_smuxes: Dict[int, Any] = {}
         c.host_agents = {}
     else:
+        # Warm restart: the channel (fencing watermarks, queued
+        # duplicates, injected-fault weather) survives with the devices.
+        # The new incarnation fences off every command the dead one
+        # still had in flight by bumping the epoch.
+        c.channel = (
+            dataplane.channel if dataplane.channel is not None
+            else ControlChannel(seed=c.hash_seed ^ CHANNEL_SEED_SALT)
+        )
+        c.channel.bump_epoch()
         c.route_table = dataplane.route_table
         c.switch_agents = dataplane.switch_agents
+        for agent in c.switch_agents.values():
+            agent.channel = c.channel
         surviving_smuxes = {s.smux_id: s for s in dataplane.smuxes}
         c.host_agents = dataplane.host_agents
         if fault_model is not None:

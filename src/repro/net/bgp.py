@@ -112,6 +112,14 @@ class VipRouteTable:
     def __init__(self) -> None:
         self._lpm = LpmTable()
         self._announcements: Dict[MuxRef, Set[Prefix]] = {}
+        # Monotone announce versions, one clock per table.  Each fresh
+        # (prefix, mux) announcement gets a new version; a version-
+        # carrying withdraw only removes the announcement it was issued
+        # against, so a delayed/reordered withdraw can never erase a
+        # newer re-announcement (the stale-withdraw race).
+        self._versions: Dict[Tuple[Prefix, MuxRef], int] = {}
+        self._version_clock = 0
+        self.stale_withdraws_ignored = 0
 
     # -- announcements -----------------------------------------------------
 
@@ -125,16 +133,45 @@ class VipRouteTable:
         added = hops.add(mux)
         if added:
             self._announcements.setdefault(mux, set()).add(prefix)
+            self._version_clock += 1
+            self._versions[(prefix, mux)] = self._version_clock
         return added
 
-    def withdraw(self, prefix: Prefix, mux: MuxRef) -> bool:
-        """Withdraw ``prefix`` from ``mux``; False if it was not announced."""
+    def announce_version(
+        self, prefix: Prefix, mux: MuxRef
+    ) -> Optional[int]:
+        """Version of the live (prefix, mux) announcement, or None.  Pass
+        it back to :meth:`withdraw` to make the withdrawal stale-safe."""
+        return self._versions.get((prefix, mux))
+
+    def withdraw(
+        self,
+        prefix: Prefix,
+        mux: MuxRef,
+        *,
+        version: Optional[int] = None,
+    ) -> bool:
+        """Withdraw ``prefix`` from ``mux``; False if it was not announced.
+
+        When ``version`` is given, the withdraw only applies if the live
+        announcement still carries that version: a stale withdraw (one
+        issued before a re-announce, arriving after it) is ignored and
+        counted in :attr:`stale_withdraws_ignored`.  ``version=None``
+        withdraws unconditionally (session loss semantics).
+        """
+        if (
+            version is not None
+            and self._versions.get((prefix, mux)) != version
+        ):
+            self.stale_withdraws_ignored += 1
+            return False
         hops = self._lpm.get_exact(prefix)
         if hops is None:
             return False
         assert isinstance(hops, _NextHopSet)
         removed = hops.remove(mux)
         if removed:
+            self._versions.pop((prefix, mux), None)
             owned = self._announcements.get(mux)
             if owned is not None:
                 owned.discard(prefix)

@@ -43,6 +43,13 @@ from repro.obs.registry import MetricsRegistry
 #: conventions).
 DEFAULT_PREFIX = "duet"
 
+#: Post-heal convergence runs one in-process anti-entropy pass: usually
+#: sub-millisecond on test fabrics, seconds on north-star shapes.
+CHANNEL_CONVERGENCE_BUCKETS = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25,
+    0.5, 1.0, 2.5,
+)
+
 
 class ControllerInstrumentation:
     """One controller (and its successors, across crash-restarts)
@@ -162,6 +169,60 @@ class ControllerInstrumentation:
         self.journal_tail = r.gauge(
             f"{p}_journal_tail_records",
             "Op/commit records since the last snapshot")
+        # Control channel + pending-ops ledger.  The channel belongs to
+        # the deployment (it survives crash-restarts with the
+        # dataplane), so its counters are monotone; ledger counters are
+        # per-incarnation, like the programming stats.
+        self.channel_counters = {
+            key: r.counter(f"{p}_ctrl_channel_{key}_total", help_text)
+            for key, help_text in (
+                ("sends", "Commands handed to the control channel"),
+                ("applied", "Channel deliveries that mutated a device"),
+                ("losses", "Programming commands lost in flight"),
+                ("partition_drops", "Programming commands dropped at a "
+                                    "partitioned device"),
+                ("delayed_dups", "Duplicate command copies queued for "
+                                 "redelivery"),
+                ("dup_drops", "Duplicate deliveries dropped by the "
+                              "(epoch, seq) fence"),
+                ("fence_rejects", "Stale-epoch deliveries dropped by "
+                                  "the fence"),
+                ("stale_applied", "Fencing violations: stale or "
+                                  "duplicate commands that applied"),
+                ("pumps", "Duplicate-redelivery sweeps"),
+                ("heals", "Channel partitions or loss/delay weather "
+                          "healed"),
+            )
+        }
+        self.ledger_counters = {
+            key: r.counter(
+                f"{p}_ctrl_channel_ledger_{key}_total", help_text,
+            )
+            for key, help_text in (
+                ("opened", "Programming op tickets opened"),
+                ("acked", "Programming ops acknowledged"),
+                ("retries", "Programming op retries issued"),
+                ("timeouts", "Programming ops abandoned at the retry "
+                             "deadline (VIP degraded to SMux)"),
+                ("rejected", "Programming ops NACKed deterministically"),
+            )
+        }
+        self.g_channel_pending = r.gauge(
+            f"{p}_ctrl_channel_pending_ops",
+            "Programming ops awaiting acknowledgement")
+        self.g_channel_partitioned = r.gauge(
+            f"{p}_ctrl_channel_partitioned_devices",
+            "Devices currently cut off from the control channel")
+        self.g_channel_queued = r.gauge(
+            f"{p}_ctrl_channel_queued_dups",
+            "Duplicate command copies still queued in flight")
+        self.g_channel_epoch = r.gauge(
+            f"{p}_ctrl_channel_epoch",
+            "Current controller fencing epoch")
+        self.channel_convergence = r.histogram(
+            f"{p}_ctrl_channel_convergence_seconds",
+            "Post-heal anti-entropy convergence latency",
+            buckets=CHANNEL_CONVERGENCE_BUCKETS)
 
         registry.register_collector(collector_name, self._collect)
 
@@ -278,6 +339,24 @@ class ControllerInstrumentation:
             self.journal_snapshots.set_total(journal.snapshots_written)
             self.journal_truncated.set_total(journal.records_truncated)
             self.journal_tail.set(len(journal.tail()))
+
+        # Control channel + ledger (guarded: bare controllers built
+        # without the channel plumbing still instrument cleanly).
+        channel = getattr(c, "channel", None)
+        if channel is not None:
+            channel_stats = channel.stats.as_dict()
+            for key, counter in self.channel_counters.items():
+                counter.set_total(channel_stats[key])
+            self.g_channel_partitioned.set(len(channel.partitioned))
+            self.g_channel_queued.set(channel.queued_dups())
+            self.g_channel_epoch.set(channel.epoch)
+            for seconds in channel.drain_convergences():
+                self.channel_convergence.observe(seconds)
+        ledger = getattr(c, "ledger", None)
+        if ledger is not None:
+            for key, counter in self.ledger_counters.items():
+                counter.set_total(getattr(ledger, key))
+            self.g_channel_pending.set(len(ledger.pending()))
 
 
 def instrument_controller(

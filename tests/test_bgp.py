@@ -49,6 +49,71 @@ class TestAnnouncements:
         assert len(table) == 2
 
 
+class TestStaleWithdrawRace:
+    """A withdraw delayed past a fresh re-announce must not erase the
+    newer /32 (the reordered-withdraw race): withdraws carry the
+    announce version they were issued against."""
+
+    def test_stale_withdraw_ignored(self, table):
+        ref = MuxRef.hmux(3)
+        host = Prefix.host(VIP)
+        table.announce(host, ref)
+        stale_version = table.announce_version(host, ref)
+        # The VIP migrates away and back: withdraw + fresh announce.
+        table.withdraw(host, ref, version=stale_version)
+        table.announce(host, ref)
+        # Now the original withdraw arrives late, carrying the old
+        # version — it must be ignored and the newer route kept.
+        assert not table.withdraw(host, ref, version=stale_version)
+        assert table.resolve(VIP) == ref
+        assert table.stale_withdraws_ignored == 1
+
+    def test_matching_version_withdraws(self, table):
+        ref = MuxRef.hmux(3)
+        host = Prefix.host(VIP)
+        table.announce(host, ref)
+        version = table.announce_version(host, ref)
+        assert table.withdraw(host, ref, version=version)
+        assert not table.has_route(VIP)
+        assert table.stale_withdraws_ignored == 0
+
+    def test_versionless_withdraw_is_unconditional(self, table):
+        ref = MuxRef.hmux(3)
+        host = Prefix.host(VIP)
+        table.announce(host, ref)
+        table.withdraw(host, ref)
+        table.announce(host, ref)
+        # Session-loss semantics: no version, always applies.
+        assert table.withdraw(host, ref)
+        assert not table.has_route(VIP)
+
+    def test_reannounce_gets_fresh_version(self, table):
+        ref = MuxRef.hmux(3)
+        host = Prefix.host(VIP)
+        table.announce(host, ref)
+        first = table.announce_version(host, ref)
+        table.withdraw(host, ref)
+        table.announce(host, ref)
+        second = table.announce_version(host, ref)
+        assert first is not None and second is not None
+        assert second > first
+
+    def test_version_of_unannounced_is_none(self, table):
+        assert table.announce_version(
+            Prefix.host(VIP), MuxRef.hmux(3)
+        ) is None
+
+    def test_duplicate_announce_keeps_version(self, table):
+        ref = MuxRef.hmux(3)
+        host = Prefix.host(VIP)
+        table.announce(host, ref)
+        version = table.announce_version(host, ref)
+        # Redundant announce (no membership change) must not reversion:
+        # an in-flight withdraw for the live announcement stays valid.
+        table.announce(host, ref)
+        assert table.announce_version(host, ref) == version
+
+
 class TestLpmPreference:
     """The core Duet mechanism: HMux /32 beats SMux aggregate (S3.3.1)."""
 

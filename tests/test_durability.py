@@ -365,7 +365,7 @@ class TestUnwindSweep:
 STAT_KEYS = (
     "attempts", "retries", "transient_faults", "degraded",
     "skipped_dead_switch", "backoff_s", "unwinds",
-    "reconcile_rounds", "reconcile_repairs",
+    "reconcile_rounds", "reconcile_repairs", "op_timeouts",
     "journal_ops", "journal_snapshots",
 )
 
