@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""SLO-engine overhead microbenchmark (SLO PR gate).
+
+With ``slo=True`` the chaos engine adds, per probe round, a partial
+recorder tick over the SLO instrument whitelist plus a burn-rate
+evaluation of every alert policy — on top of everything a plain
+no-oracle soak already does.  That must stay cheap: this benchmark runs
+the *same* seeded no-oracle soak with the SLO engine off and on and
+writes the relative overhead to ``BENCH_slo.json``.  CI runs it with
+``--max-overhead 0.05`` — the acceptance bar is that continuous SLO
+evaluation costs at most 5% of soak throughput.
+
+Timing runs back-to-back (base, test) pairs and takes each column's
+*minimum* across repeats: pairing keeps machine-speed drift from
+biasing one side, and the minimum is the classic low-noise estimator —
+any scheduling hiccup only ever makes a run slower, never faster.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_slo.py \
+        [--events 40] [--repeats 7] [--out BENCH_slo.json] \
+        [--max-overhead 0.05]
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import json
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.chaos import ChaosConfig, ChaosEngine
+
+SEED = 7
+N_VIPS = 16
+
+
+def paired_times(
+    base_fn: Callable[[], object],
+    test_fn: Callable[[], object],
+    repeats: int,
+) -> tuple:
+    """Best-of-N paired timing: interleave base/test runs, report each
+    side's minimum (noise only ever slows a run down).  Cyclic GC is
+    paused during each timed run so neither side is billed for
+    collecting the other's garbage."""
+    base_times = []
+    test_times = []
+    for _ in range(repeats):
+        for fn, times in ((base_fn, base_times), (test_fn, test_times)):
+            gc.collect()
+            gc.disable()
+            try:
+                start = time.perf_counter()
+                fn()
+                times.append(time.perf_counter() - start)
+            finally:
+                gc.enable()
+    return min(base_times), min(test_times)
+
+
+def run_soak(events: int, slo: bool) -> None:
+    config = ChaosConfig(
+        seed=SEED,
+        n_events=events,
+        n_vips=N_VIPS,
+        no_oracle=True,
+        slo=slo,
+        background_loss=0.02,
+    )
+    report = ChaosEngine(config).run()
+    if not report.ok:
+        raise RuntimeError(
+            f"bench soak hit violations: {report.violations}"
+        )
+
+
+def bench(events: int, repeats: int) -> Dict[str, float]:
+    # Warm both paths (imports, first-build caches).
+    run_soak(8, slo=False)
+    run_soak(8, slo=True)
+    base_s, slo_s = paired_times(
+        lambda: run_soak(events, slo=False),
+        lambda: run_soak(events, slo=True),
+        repeats,
+    )
+    return {
+        "base_events_per_s": events / base_s,
+        "slo_events_per_s": events / slo_s,
+        "base_s": base_s,
+        "slo_s": slo_s,
+        "overhead": slo_s / base_s - 1.0,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--events", type=int, default=40,
+                        help="chaos events per soak pass")
+    parser.add_argument("--repeats", type=int, default=7)
+    parser.add_argument("--out", default="BENCH_slo.json")
+    parser.add_argument(
+        "--max-overhead", type=float, default=None,
+        help="fail (exit 1) if SLO evaluation overhead exceeds this "
+             "fraction of soak time (the PR gate is 0.05)",
+    )
+    args = parser.parse_args(argv)
+
+    numbers = bench(args.events, args.repeats)
+    report = {
+        "events": args.events,
+        "repeats": args.repeats,
+        "soak": numbers,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    print(
+        f"soak: base {numbers['base_events_per_s']:.1f} events/s, "
+        f"slo {numbers['slo_events_per_s']:.1f} events/s "
+        f"({numbers['overhead']:+.2%} overhead)"
+    )
+    print(f"wrote {args.out}")
+
+    if args.max_overhead is not None:
+        if numbers["overhead"] > args.max_overhead:
+            print(
+                f"FAIL: SLO-engine overhead {numbers['overhead']:.2%} "
+                f"exceeds the allowed {args.max_overhead:.2%}",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -94,11 +94,21 @@ class ChaosConfig:
     background_loss: float = 0.0
     # HealthConfig field overrides (JSON-serializable).
     health: Dict[str, Any] = field(default_factory=dict)
+    # SLO engine + burn-rate alerting (requires no_oracle: the alert
+    # evaluator runs on the monitor's sim clock and the AlertScorecard
+    # judges incidents against the fault plane).
+    slo: bool = False
+    # build_default_policies overrides (JSON-serializable scalars).
+    slo_overrides: Dict[str, Any] = field(default_factory=dict)
+    # False = keep the fault plane empty (only background loss): the
+    # fault-free corpus for judging alert false positives.
+    inject_faults: bool = True
 
     def to_dict(self) -> Dict[str, Any]:
         data = asdict(self)
         data["broken_switches"] = list(self.broken_switches)
         data["health"] = dict(self.health)
+        data["slo_overrides"] = dict(self.slo_overrides)
         return data
 
     @classmethod
@@ -106,6 +116,7 @@ class ChaosConfig:
         kwargs = dict(data)
         kwargs["broken_switches"] = tuple(kwargs.get("broken_switches", ()))
         kwargs["health"] = dict(kwargs.get("health", {}))
+        kwargs["slo_overrides"] = dict(kwargs.get("slo_overrides", {}))
         return cls(**kwargs)
 
 
@@ -336,6 +347,12 @@ class ChaosReport:
     #: Control-channel counters (the channel survives crashes) plus
     #: pending-ops ledger totals folded across every incarnation.
     channel: Dict[str, int] = field(default_factory=dict)
+    #: SLO runs only: AlertScorecard stats, per-SLO error budgets, and
+    #: every alert episode (fired and resolved).
+    slo: Optional[Dict[str, Any]] = None
+    #: SLO runs only: replayable incident artifacts
+    #: (:class:`repro.obs.incident.Incident`), one per fired alert.
+    incidents: List[Any] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -362,6 +379,8 @@ class ChaosEngine:
         self.fault_plane = None
         self.monitor = None
         self.scorecard = None
+        if config.slo and not config.no_oracle:
+            raise ValueError("slo=True requires no_oracle=True")
         if config.no_oracle:
             from repro.health import FaultPlane
 
@@ -374,6 +393,12 @@ class ChaosEngine:
         weights: Dict[EventKind, float] = (
             dict(NO_ORACLE_WEIGHTS) if config.no_oracle else {}
         )
+        if config.no_oracle and not config.inject_faults:
+            # Fault-free corpus: the generator still churns VIPs, DIPs
+            # and rebalances, but the fault plane stays empty so any
+            # alert that fires is a false positive by construction.
+            for kind in FAULT_PLANE_KINDS:
+                weights[kind] = 0.0
         if config.channel_loss > 0:
             weights[EventKind.CHANNEL_LOSS] = (
                 CHANNEL_WEIGHTS[EventKind.CHANNEL_LOSS]
@@ -414,9 +439,14 @@ class ChaosEngine:
         self.instrumentation = instrument_controller(
             self.controller, self.registry,
         )
-        self.recorder = Recorder(
-            self.registry, capacity=max(2, config.n_events + 1),
+        # SLO runs tick once per monitor round on top of the per-step
+        # tick; size the window so burn-rate lookbacks never fall off.
+        recorder_capacity = (
+            max(2, config.n_events * (config.monitor_rounds_per_step + 1) + 2)
+            if config.slo
+            else max(2, config.n_events + 1)
         )
+        self.recorder = Recorder(self.registry, capacity=recorder_capacity)
         self._chaos_crashes = self.registry.counter(
             "duet_chaos_crashes_total",
             "Controller crash-restarts injected by the chaos engine",
@@ -472,6 +502,47 @@ class ChaosEngine:
                 registry=self.registry,
             )
             self._retired_smux_cursor = 0
+        # SLO engine: compiled SLOs + burn-rate alert evaluator over the
+        # recorder, incident forensics on fire, scorecard vs the fault
+        # plane's ground truth.
+        self.tracer = None
+        self.alerts = None
+        self.alert_scorecard = None
+        self.incidents: List[Any] = []
+        self._event_log: Optional[List[Tuple[float, Dict[str, Any]]]] = None
+        self._slo_names: Optional[List[str]] = None
+        self._build_incident = None
+        if config.slo:
+            from repro.obs import Tracer
+            from repro.obs.alerts import (
+                AlertEvaluator, build_default_policies,
+            )
+            from repro.obs.incident import AlertScorecard, build_incident
+            from repro.obs.slo import build_default_slos
+
+            self.tracer = Tracer()
+            self.controller.attach_tracer(self.tracer)
+            slos = build_default_slos(
+                self.registry,
+                detection_budget_s=self.health_config.detection_budget_s,
+            )
+            self.alerts = AlertEvaluator(
+                slos,
+                self.recorder,
+                build_default_policies(
+                    self.health_config.probe_period_s,
+                    overrides=config.slo_overrides,
+                ),
+                registry=self.registry,
+            )
+            self.alert_scorecard = AlertScorecard(
+                self.fault_plane,
+                self.alerts,
+                detection_budget_s=self.health_config.detection_budget_s,
+            )
+            self._event_log = []
+            self._slo_names = self.alerts.instrument_names()
+            self._build_incident = build_incident
 
     def _next_event(self, step: int) -> Optional[ChaosEvent]:
         if self._scripted is not None:
@@ -533,6 +604,8 @@ class ChaosEngine:
         self.instrumentation.rebind(restored)
         if self.monitor is not None:
             self.monitor.rebind(restored)
+        if self.tracer is not None:
+            restored.attach_tracer(self.tracer)
         self._armed = None
         self.crashes += 1
 
@@ -630,6 +703,8 @@ class ChaosEngine:
                 self.monitor.run_round()
             except SimulatedCrash:
                 self._do_crash()
+            if self.alerts is not None:
+                self._evaluate_alerts()
         if self._armed is not None:
             self._do_crash()
         # SMuxes the remediation loop removed can never fault again.
@@ -637,6 +712,26 @@ class ChaosEngine:
         for smux_id in removed[self._retired_smux_cursor:]:
             self.fault_plane.retire_smux(smux_id, self.monitor.clock.now_s)
         self._retired_smux_cursor = len(removed)
+
+    def _evaluate_alerts(self) -> None:
+        """One alert round on the sim clock: a cheap partial recorder
+        tick over the SLO instrument whitelist (no collectors), then the
+        burn-rate evaluator; each newly fired alert becomes a replayable
+        incident artifact built from the causal state at fire time."""
+        now = self.monitor.clock.now_s
+        self.recorder.tick(now=now, only=self._slo_names)
+        for alert in self.alerts.evaluate(now):
+            self.incidents.append(self._build_incident(
+                alert,
+                now=now,
+                config=self.config,
+                events=self._event_log,
+                fault_plane=self.fault_plane,
+                monitor=self.monitor,
+                controller=self.controller,
+                tracer=self.tracer,
+                index=len(self.incidents),
+            ))
 
     def run(self) -> ChaosReport:
         self.tracker.prime()
@@ -646,7 +741,10 @@ class ChaosEngine:
         event_counts: Dict[str, int] = {}
         first_violation_step: Optional[int] = None
         artifact: Optional[ChaosArtifact] = None
-        self.recorder.tick()  # the pre-chaos baseline observation
+        # The pre-chaos baseline observation.
+        self.recorder.tick(
+            now=self.monitor.clock.now_s if self.config.slo else None,
+        )
         step = 0
         while True:
             event = self._next_event(step)
@@ -697,6 +795,10 @@ class ChaosEngine:
                         # inside a detector-driven remediation op.)
                         self._do_crash()
             applied.append(event)
+            if self._event_log is not None:
+                self._event_log.append(
+                    (self.monitor.clock.now_s, event.to_dict())
+                )
             event_counts[event.kind.value] = (
                 event_counts.get(event.kind.value, 0) + 1
             )
@@ -718,7 +820,11 @@ class ChaosEngine:
             # Observe AFTER the checkers: their probe packets are then in
             # the mux high-watermarks before the next event can wipe a
             # mux, keeping the cumulative forwarded series complete.
-            self.recorder.tick()
+            # SLO runs keep the whole time axis on the monitor's sim
+            # clock so burn-rate windows line up with probe rounds.
+            self.recorder.tick(
+                now=self.monitor.clock.now_s if self.config.slo else None,
+            )
             traces.append(StepTrace(step, event, violations))
             if violations:
                 all_violations.extend(violations)
@@ -749,7 +855,21 @@ class ChaosEngine:
                 self.scorecard.stats() if self.scorecard is not None else None
             ),
             channel=self.channel_totals(),
+            slo=self.slo_summary(),
+            incidents=list(self.incidents),
         )
+
+    def slo_summary(self) -> Optional[Dict[str, Any]]:
+        """AlertScorecard stats + per-SLO budgets + alert episodes, or
+        ``None`` when the SLO engine is off."""
+        if self.alerts is None:
+            return None
+        now = self.monitor.clock.now_s
+        return {
+            "scorecard": self.alert_scorecard.stats(now),
+            "budgets": self.alerts.budgets(),
+            "alerts": [a.to_dict() for a in self.alerts.incidents],
+        }
 
 
 def replay_artifact(

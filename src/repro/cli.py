@@ -250,6 +250,62 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="sample every Nth forwarded packet")
     trace.add_argument("--out", metavar="PATH", default=None,
                        help="write the output here instead of stdout")
+
+    slo = sub.add_parser(
+        "slo",
+        help="no-oracle soak with the SLO engine: per-SLO error budgets "
+             "and burn rates judged over the run",
+    )
+    slo.add_argument("--seed", type=int, default=0)
+    slo.add_argument("--events", type=int, default=60)
+    slo.add_argument("--vips", type=int, default=16)
+    slo.add_argument("--background-loss", type=float, default=0.02,
+                     help="benign probe loss rate (budget noise floor)")
+    slo.add_argument("--fault-free", action="store_true",
+                     help="keep the fault plane empty: only background "
+                          "loss burns budget")
+
+    alerts = sub.add_parser(
+        "alerts",
+        help="burn-rate alerting soak: fire alerts over a no-oracle "
+             "chaos run, score them against fault-plane ground truth",
+    )
+    alerts.add_argument("--seed", type=int, default=0,
+                        help="first seed of the sweep")
+    alerts.add_argument("--seeds", type=int, default=1, metavar="N",
+                        help="run N consecutive seeds and aggregate")
+    alerts.add_argument("--events", type=int, default=60)
+    alerts.add_argument("--vips", type=int, default=16)
+    alerts.add_argument("--background-loss", type=float, default=0.02)
+    alerts.add_argument("--fault-free", action="store_true",
+                        help="no injected faults: every incident is a "
+                             "false positive and fails the run")
+    alerts.add_argument("--min-precision", type=float, default=None,
+                        help="fail (exit 1) if aggregate incident "
+                             "precision falls below this")
+    alerts.add_argument("--min-recall", type=float, default=None,
+                        help="fail (exit 1) if aggregate eligible-fault "
+                             "recall falls below this")
+    alerts.add_argument("--incident-dir", metavar="DIR", default=None,
+                        help="save every incident artifact (JSON) here")
+    alerts.add_argument("--tail", type=int, default=5, metavar="N",
+                        help="print the last N timeline entries per "
+                             "incident")
+
+    incident = sub.add_parser(
+        "incident",
+        help="inspect a saved incident artifact (what broke, when, why) "
+             "or verify it replays bit-for-bit",
+    )
+    incident.add_argument("artifact", help="incident JSON path "
+                                           "(from alerts --incident-dir)")
+    incident.add_argument("--replay", action="store_true",
+                          help="re-run the embedded config + event "
+                               "prefix and verify the regenerated "
+                               "incident is byte-identical")
+    incident.add_argument("--tail", type=int, default=0, metavar="N",
+                          help="print only the last N timeline entries "
+                               "(0 = all)")
     return parser
 
 
@@ -630,6 +686,186 @@ def _cmd_health(args) -> int:
     return 1
 
 
+def _slo_config(args, seed: int):
+    from repro.chaos import ChaosConfig
+
+    return ChaosConfig(
+        seed=seed,
+        n_events=args.events,
+        n_vips=args.vips,
+        no_oracle=True,
+        slo=True,
+        background_loss=args.background_loss,
+        inject_faults=not args.fault_free,
+    )
+
+
+def _print_incident_timeline(incident_dict, tail: int) -> None:
+    timeline = incident_dict["timeline"]
+    shown = timeline[-tail:] if tail > 0 else timeline
+    if len(shown) < len(timeline):
+        print(f"  ... {len(timeline) - len(shown)} earlier entries")
+    for entry in shown:
+        extra = ", ".join(
+            f"{k}={v}" for k, v in sorted(entry.items())
+            if k not in ("t", "source", "kind") and v not in (None, {}, "")
+        )
+        print(f"  {entry['t'] * 1e3:9.1f} ms  [{entry['source']}] "
+              f"{entry['kind']}" + (f"  ({extra})" if extra else ""))
+
+
+def _cmd_slo(args) -> int:
+    from repro.chaos import ChaosEngine
+
+    config = _slo_config(args, args.seed)
+    engine = ChaosEngine(config)
+    report = engine.run()
+    slo = report.slo
+    print(f"{report.steps_run} events, "
+          f"{engine.monitor.detector.rounds_seen} probe rounds "
+          f"(seed {config.seed}"
+          f"{', fault-free' if args.fault_free else ''}):")
+    print(f"{'SLO':<24} {'objective':>9} {'good/total':>15} "
+          f"{'budget left':>11}")
+    for name, budget in slo["budgets"].items():
+        good, total = budget["good"], budget["total"]
+        print(f"{name:<24} {budget['objective']:>9.3f} "
+              f"{f'{good:.0f}/{total:.0f}':>15} "
+              f"{budget['budget_remaining']:>10.1%}")
+    fired = slo["alerts"]
+    print(f"alerts fired: {len(fired)}")
+    for alert in fired:
+        resolved = (
+            f"resolved {alert['resolve_t'] * 1e3:.1f} ms"
+            if alert["resolve_t"] is not None else "still firing"
+        )
+        print(f"  [{alert['severity']}] {alert['slo']} fired at "
+              f"{alert['fire_t'] * 1e3:.1f} ms "
+              f"(peak burn {alert['peak_long_burn']:.1f}x, {resolved})")
+    if not report.ok:
+        print(f"violations ({len(report.violations)}):")
+        for violation in report.violations:
+            print(f"  {violation}")
+        return 1
+    return 0
+
+
+def _cmd_alerts(args) -> int:
+    import os
+
+    from repro.chaos import ChaosEngine
+
+    totals = {
+        "incidents": 0, "true_positives": 0, "false_positives": 0,
+        "eligible_faults": 0, "matched_faults": 0, "faults_total": 0,
+    }
+    matched_by_kind: dict = {}
+    time_to_fire: list = []
+    saved = 0
+    violations = 0
+    for seed in range(args.seed, args.seed + args.seeds):
+        config = _slo_config(args, seed)
+        engine = ChaosEngine(config)
+        report = engine.run()
+        if not report.ok:
+            violations += len(report.violations)
+            for violation in report.violations:
+                print(f"seed {seed}: VIOLATION {violation}")
+        scorecard = report.slo["scorecard"]
+        for key in totals:
+            totals[key] += scorecard[key]
+        for kind, n in scorecard["matched_by_kind"].items():
+            matched_by_kind[kind] = matched_by_kind.get(kind, 0) + n
+        time_to_fire.extend(scorecard["time_to_fire_s"])
+        for inc in report.incidents:
+            print(f"seed {seed}: {inc.incident_id} "
+                  f"(suspect: "
+                  f"{(inc.suspected_cause or {}).get('target', 'none')})")
+            _print_incident_timeline(inc.to_dict(), args.tail)
+            if args.incident_dir is not None:
+                os.makedirs(args.incident_dir, exist_ok=True)
+                path = os.path.join(
+                    args.incident_dir,
+                    f"seed{seed}-{inc.incident_id.replace(':', '-')}.json",
+                )
+                inc.save(path)
+                saved += 1
+    if saved:
+        print(f"{saved} incident artifact(s) -> {args.incident_dir}")
+
+    precision = (
+        totals["true_positives"] / totals["incidents"]
+        if totals["incidents"] else 1.0
+    )
+    recall = (
+        totals["matched_faults"] / totals["eligible_faults"]
+        if totals["eligible_faults"] else 1.0
+    )
+    print(f"{args.seeds} seed(s): {totals['incidents']} incidents, "
+          f"{totals['faults_total']} faults injected "
+          f"({totals['eligible_faults']} alert-eligible)")
+    kinds = ", ".join(
+        f"{kind} x{n}" for kind, n in sorted(matched_by_kind.items())
+    )
+    print(f"precision {precision:.3f}  recall {recall:.3f}  "
+          f"matched kinds: {kinds or 'none'}")
+    if time_to_fire:
+        lats = sorted(time_to_fire)
+        print(f"time to fire: median {lats[len(lats) // 2] * 1e3:.1f} ms, "
+              f"max {lats[-1] * 1e3:.1f} ms")
+
+    status = 0
+    if violations:
+        status = 1
+    if args.fault_free and totals["incidents"]:
+        print(f"FAIL: {totals['incidents']} alert incident(s) on a "
+              "fault-free run (all false positives)")
+        status = 1
+    if args.min_precision is not None and precision < args.min_precision:
+        print(f"FAIL: precision {precision:.3f} < {args.min_precision}")
+        status = 1
+    if args.min_recall is not None and recall < args.min_recall:
+        print(f"FAIL: recall {recall:.3f} < {args.min_recall}")
+        status = 1
+    return status
+
+
+def _cmd_incident(args) -> int:
+    from repro.obs import Incident, replay_incident
+
+    incident = Incident.load(args.artifact)
+    alert = incident.alert
+    print(f"{incident.incident_id}: [{alert['severity']}] {alert['slo']} "
+          f"fired at {alert['fire_t'] * 1e3:.1f} ms "
+          f"(peak burn {alert['peak_long_burn']:.1f}x long / "
+          f"{alert['peak_short_burn']:.1f}x short)")
+    suspect = incident.suspected_cause
+    if suspect is not None:
+        cleared = (
+            f"cleared {suspect['cleared_t'] * 1e3:.1f} ms"
+            if suspect.get("cleared_t") is not None else "still active"
+        )
+        print(f"suspected cause: {suspect['kind']} {suspect['target']} "
+              f"(injected {suspect['injected_t'] * 1e3:.1f} ms, {cleared})")
+    print(f"ground-truth faults in window: {len(incident.faults)}, "
+          f"ledger pending {incident.ledger.get('pending', 0)}, "
+          f"unreconciled {len(incident.ledger.get('unreconciled', []))}, "
+          f"spans {len(incident.spans)}")
+    print(f"timeline ({len(incident.timeline)} entries):")
+    _print_incident_timeline(incident.to_dict(), args.tail)
+    if not args.replay:
+        return 0
+    regenerated = replay_incident(incident)
+    if regenerated is None:
+        print("replay: FAILED — incident did not regenerate")
+        return 1
+    if regenerated.to_json() != incident.to_json():
+        print("replay: FAILED — regenerated incident differs")
+        return 1
+    print("replay: ok (byte-identical timeline)")
+    return 0
+
+
 def _drive_quickstart_traffic(controller, recorder, flows_per_vip: int) -> None:
     """Forward a deterministic burst of client flows through the live
     deployment, ticking the recorder as the burst progresses so the
@@ -868,6 +1104,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_metrics(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "slo":
+        return _cmd_slo(args)
+    if args.command == "alerts":
+        return _cmd_alerts(args)
+    if args.command == "incident":
+        return _cmd_incident(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

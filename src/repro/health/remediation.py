@@ -214,6 +214,24 @@ class HealthMonitor:
                     "Health probes sent, by probe family and result.",
                     ("kind", "result"),
                 ),
+                # VIP-probe outcomes at SLI granularity: "ok" delivered,
+                # "post-mux-drop" lost after a healthy mux decap (the
+                # DIP's problem, not the load balancer's), "mux-drop"
+                # eaten at/before the mux, "unrouted" no route at all.
+                # Incremented here directly (no collector) so partial
+                # recorder ticks see fresh values every probe round.
+                "vip_outcomes": registry.counter(
+                    "duet_health_vip_probe_outcomes_total",
+                    "VIP data-path probe outcomes (availability SLI).",
+                    ("result",),
+                ),
+                "vip_rtt": registry.histogram(
+                    "duet_health_vip_rtt_seconds",
+                    "Delivered VIP probe round-trip time (latency SLI).",
+                    buckets=(
+                        0.0002, 0.0003, 0.0005, 0.00075, 0.001, 0.0025,
+                    ),
+                ),
                 "rounds": registry.counter(
                     "duet_health_probe_rounds_total",
                     "Completed probe rounds.",
@@ -292,8 +310,23 @@ class HealthMonitor:
 
         if self._instruments is not None:
             probes = self._instruments["probes"]
+            vip_outcomes = self._instruments["vip_outcomes"]
+            vip_rtt = self._instruments["vip_rtt"]
             for outcome in round_.outcomes:
                 probes.labels(outcome.kind, "ok" if outcome.ok else "drop").inc()
+                if outcome.kind != "vip":
+                    continue
+                if outcome.ok:
+                    result = "ok"
+                elif outcome.post_mux:
+                    result = "post-mux-drop"
+                elif outcome.mux_kind is None:
+                    result = "unrouted"
+                else:
+                    result = "mux-drop"
+                vip_outcomes.labels(result).inc()
+                if outcome.latency_s is not None:
+                    vip_rtt.observe(outcome.latency_s)
             self._instruments["rounds"].inc()
 
         verdicts = self.detector.observe(round_, deltas)

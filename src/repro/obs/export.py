@@ -312,17 +312,26 @@ def _split_label_pairs(raw: str) -> List[str]:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Lint Prometheus text dumps: ``python -m repro.obs.export f.prom``."""
+    """Lint Prometheus text dumps: ``python -m repro.obs.export f.prom``.
+
+    ``-`` lints stdin, so a scrape can be piped straight through the
+    linter without touching disk.  Exit status: 0 all clean, 1 lint
+    findings, 2 unreadable input / usage error.
+    """
     args = list(sys.argv[1:] if argv is None else argv)
     if not args:
-        print("usage: python -m repro.obs.export DUMP.prom [...]",
+        print("usage: python -m repro.obs.export DUMP.prom [...|-]",
               file=sys.stderr)
         return 2
     status = 0
     for path in args:
         try:
-            with open(path, "r", encoding="utf-8") as fh:
-                text = fh.read()
+            if path == "-":
+                path = "<stdin>"
+                text = sys.stdin.read()
+            else:
+                with open(path, "r", encoding="utf-8") as fh:
+                    text = fh.read()
         except OSError as error:
             print(f"{path}: {error}", file=sys.stderr)
             status = 2

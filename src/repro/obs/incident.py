@@ -1,0 +1,404 @@
+"""Incident forensics: from "an alert fired" to "what broke, when, why".
+
+When the :class:`~repro.obs.alerts.AlertEvaluator` fires, the operator
+question is never "what is the burn rate" — it is *which fault caused
+this, what did the control plane do about it, and can I see the whole
+sequence in order*.  :func:`build_incident` answers it by assembling a
+causally ordered timeline around the alert from every ground-truth and
+control-plane source the repo already records:
+
+* chaos events applied by the engine (with their simulated timestamps),
+* :class:`~repro.health.faults.FaultPlane` fault lifecycles
+  (injected / detected / remediated / cleared),
+* the health monitor's transition / verdict / remediation timeline,
+* the write-ahead journal's most recent records,
+* the control channel's ledger (timeouts, unreconciled devices) and
+  counters,
+* nearby trace spans from an attached
+  :class:`~repro.obs.tracing.Tracer`.
+
+The artifact embeds the chaos config and the fully specified event
+prefix, so — like a :class:`~repro.chaos.engine.ChaosArtifact` — it is
+*replayable*: rerunning the prefix reproduces the identical timeline
+bit for bit (everything is seeded and timestamps come from the sim
+clock).
+
+:class:`AlertScorecard` closes the judging loop: alert incidents are
+scored against the fault plane's ground truth for precision, recall,
+and time-to-fire, mirroring how
+:class:`~repro.health.invariants.HealthScorecard` judges the detector.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.alerts import AlertEvaluator, AlertIncident
+from repro.obs.slo import SloError
+
+# Fault kinds whose probe-visible impact is direct enough that an alert
+# is *expected*; gray failures may be too shallow/narrow to move a
+# fleet-level SLO and are judged as bonus coverage, not recall misses.
+ALERTABLE_FAULT_KINDS = ("switch-silent", "smux-silent")
+
+#: Default pre-alert context: how far before the fire the timeline
+#: reaches back (40 probe rounds at the 3 ms default period).
+DEFAULT_CONTEXT_S = 0.12
+
+_JOURNAL_TAIL = 12
+_SPAN_TAIL = 8
+
+
+def _entry(t: float, source: str, kind: str, **extra: Any) -> Dict[str, Any]:
+    entry: Dict[str, Any] = {"t": t, "source": source, "kind": kind}
+    entry.update(extra)
+    return entry
+
+
+@dataclass
+class Incident:
+    """One replayable incident artifact built when an alert fired."""
+
+    incident_id: str
+    alert: Dict[str, Any]
+    window: Dict[str, float]
+    timeline: List[Dict[str, Any]] = field(default_factory=list)
+    faults: List[Dict[str, Any]] = field(default_factory=list)
+    suspected_cause: Optional[Dict[str, Any]] = None
+    journal_tail: List[Dict[str, Any]] = field(default_factory=list)
+    ledger: Dict[str, Any] = field(default_factory=dict)
+    channel: Dict[str, Any] = field(default_factory=dict)
+    spans: List[Dict[str, Any]] = field(default_factory=list)
+    replay: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "incident_id": self.incident_id,
+            "alert": self.alert,
+            "window": self.window,
+            "timeline": self.timeline,
+            "faults": self.faults,
+            "suspected_cause": self.suspected_cause,
+            "journal_tail": self.journal_tail,
+            "ledger": self.ledger,
+            "channel": self.channel,
+            "spans": self.spans,
+            "replay": self.replay,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json())
+            fh.write("\n")
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Incident":
+        return cls(
+            incident_id=data["incident_id"],
+            alert=dict(data["alert"]),
+            window=dict(data["window"]),
+            timeline=list(data.get("timeline", [])),
+            faults=list(data.get("faults", [])),
+            suspected_cause=data.get("suspected_cause"),
+            journal_tail=list(data.get("journal_tail", [])),
+            ledger=dict(data.get("ledger", {})),
+            channel=dict(data.get("channel", {})),
+            spans=list(data.get("spans", [])),
+            replay=dict(data.get("replay", {})),
+        )
+
+    @classmethod
+    def load(cls, path: str) -> "Incident":
+        with open(path, "r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+
+def _fault_points(record_dict: Dict[str, Any]) -> List[Tuple[float, str]]:
+    points = [(record_dict["injected_t"], "fault-injected")]
+    for key, kind in (
+        ("detected_t", "fault-detected"),
+        ("remediated_t", "fault-remediated"),
+        ("cleared_t", "fault-cleared"),
+    ):
+        t = record_dict.get(key)
+        if t is not None:
+            points.append((t, kind))
+    return points
+
+
+def _suspect(
+    faults: Sequence[Dict[str, Any]], fire_t: float
+) -> Optional[Dict[str, Any]]:
+    """Root-cause heuristic: the most recent fault injected before the
+    alert fired that was still uncleared at fire time; failing that, the
+    most recently injected fault in the window."""
+    candidates = [f for f in faults if f["injected_t"] <= fire_t]
+    live = [
+        f for f in candidates
+        if f["cleared_t"] is None or f["cleared_t"] >= fire_t
+    ]
+    pool = live or candidates
+    if not pool:
+        return None
+    return max(pool, key=lambda f: f["injected_t"])
+
+
+def build_incident(
+    alert: AlertIncident,
+    *,
+    now: float,
+    config: Optional[Any] = None,
+    events: Sequence[Tuple[float, Dict[str, Any]]] = (),
+    fault_plane: Optional[Any] = None,
+    monitor: Optional[Any] = None,
+    controller: Optional[Any] = None,
+    tracer: Optional[Any] = None,
+    index: int = 0,
+    context_s: float = DEFAULT_CONTEXT_S,
+) -> Incident:
+    """Assemble the forensic artifact for a just-fired ``alert``.
+
+    ``events`` is the engine's applied-event log as ``(sim_t,
+    event_dict)`` pairs; the *full* prefix up to the fire goes into the
+    replay block (replay needs every event, not just windowed ones),
+    while only in-window events land on the timeline.
+    """
+    start_t = min(alert.pending_t, alert.fire_t - context_s)
+    window = {"start_t": start_t, "end_t": now}
+    timeline: List[Dict[str, Any]] = []
+
+    for t, event_dict in events:
+        if start_t <= t <= now:
+            timeline.append(_entry(
+                t, "chaos", f"event:{event_dict.get('kind', '?')}",
+                params=event_dict.get("params", {}),
+            ))
+
+    faults: List[Dict[str, Any]] = []
+    if fault_plane is not None:
+        for record in fault_plane.log:
+            rec = record.to_dict()
+            points = _fault_points(rec)
+            in_window = any(start_t <= t <= now for t, _ in points)
+            if not in_window:
+                continue
+            faults.append(rec)
+            for t, kind in points:
+                if start_t <= t <= now:
+                    timeline.append(_entry(
+                        t, "fault-plane", kind,
+                        fault_kind=rec["kind"], target=rec["target"],
+                    ))
+
+    if monitor is not None:
+        for item in monitor.timeline:
+            t = item.get("t")
+            if t is not None and start_t <= t <= now:
+                entry = _entry(t, "monitor", str(item.get("type", "event")))
+                for k, v in item.items():
+                    if k in ("t", "type"):
+                        continue
+                    # Monitor verdicts carry their own "kind"; keep it
+                    # without clobbering the timeline entry's kind.
+                    entry["verdict_kind" if k == "kind" else k] = v
+                timeline.append(entry)
+
+    timeline.append(_entry(
+        alert.pending_t, "alert", "alert-pending",
+        slo=alert.slo, severity=alert.severity,
+    ))
+    timeline.append(_entry(
+        alert.fire_t, "alert", "alert-fired",
+        slo=alert.slo, severity=alert.severity,
+        long_burn=alert.peak_long_burn, short_burn=alert.peak_short_burn,
+    ))
+    # Stable sort: ties keep source insertion order (chaos, fault-plane,
+    # monitor, alert) so replays produce byte-identical timelines.
+    timeline.sort(key=lambda e: e["t"])
+
+    journal_tail: List[Dict[str, Any]] = []
+    ledger: Dict[str, Any] = {}
+    channel: Dict[str, Any] = {}
+    if controller is not None:
+        journal = getattr(controller, "journal", None)
+        if journal is not None:
+            journal_tail = journal.records()[-_JOURNAL_TAIL:]
+        led = getattr(controller, "ledger", None)
+        if led is not None:
+            ledger = {
+                "opened": led.opened,
+                "acked": led.acked,
+                "retries": led.retries,
+                "timeouts": led.timeouts,
+                "rejected": led.rejected,
+                "pending": len(led.pending()),
+                "unreconciled": sorted(led.unreconciled),
+            }
+        chan = getattr(controller, "channel", None)
+        if chan is not None:
+            channel = dict(chan.stats.as_dict())
+            channel["epoch"] = chan.epoch
+            channel["partitioned"] = sorted(chan.partitioned)
+
+    spans: List[Dict[str, Any]] = []
+    if tracer is not None:
+        for span in tracer.spans()[-_SPAN_TAIL:]:
+            spans.append({
+                "name": span.name,
+                "trace_id": span.trace_id,
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "start": span.start,
+                "end": span.end,
+            })
+
+    replay: Dict[str, Any] = {}
+    if config is not None:
+        replay = {
+            "config": config.to_dict(),
+            "events": [event_dict for _, event_dict in events],
+        }
+
+    return Incident(
+        incident_id=f"{alert.slo}:{alert.severity}:{index:03d}",
+        alert=alert.to_dict(),
+        window=window,
+        timeline=timeline,
+        faults=faults,
+        suspected_cause=_suspect(faults, alert.fire_t),
+        journal_tail=journal_tail,
+        ledger=ledger,
+        channel=channel,
+        spans=spans,
+        replay=replay,
+    )
+
+
+def replay_incident(incident: Incident) -> Optional[Incident]:
+    """Re-run the incident's embedded config + event prefix through a
+    scripted chaos engine and return the regenerated incident with the
+    same id (or ``None`` if it failed to reproduce).  A faithful
+    artifact regenerates a byte-identical timeline — everything feeding
+    it is seeded and timestamped on the sim clock."""
+    if not incident.replay:
+        raise SloError(
+            f"incident {incident.incident_id} has no replay block"
+        )
+    from repro.chaos.engine import ChaosConfig, ChaosEngine
+    from repro.chaos.events import ChaosEvent
+
+    config = ChaosConfig.from_dict(incident.replay["config"])
+    events = [ChaosEvent.from_dict(e) for e in incident.replay["events"]]
+    engine = ChaosEngine(config, events=events)
+    engine.run()
+    for regenerated in engine.incidents:
+        if regenerated.incident_id == incident.incident_id:
+            return regenerated
+    return None
+
+
+class AlertScorecard:
+    """Judge alert incidents against fault-plane ground truth.
+
+    Mirrors :class:`~repro.health.invariants.HealthScorecard`, but for
+    the alerting layer: an incident is a *true positive* if its impact
+    interval overlaps any injected fault's lifetime (plus a detection
+    grace after clearance — burn windows lag the fault by design), and
+    a fault is *covered* if at least one incident matches it.
+
+    Recall is computed over :data:`ALERTABLE_FAULT_KINDS` faults whose
+    lifetime is at least ``min_impact_s`` — a fault cleared within a
+    single burn window cannot move any alert and is not a miss.
+    """
+
+    def __init__(
+        self,
+        fault_plane: Any,
+        evaluator: AlertEvaluator,
+        *,
+        detection_budget_s: float = 0.09,
+        min_impact_s: float = 0.018,
+    ) -> None:
+        if fault_plane is None:
+            raise SloError("AlertScorecard requires a fault plane")
+        self.fault_plane = fault_plane
+        self.evaluator = evaluator
+        self.detection_budget_s = detection_budget_s
+        self.min_impact_s = min_impact_s
+
+    def _incident_interval(
+        self, incident: AlertIncident, now: float
+    ) -> Tuple[float, float]:
+        start = incident.pending_t - incident.window.long_s
+        end = incident.resolve_t if incident.resolve_t is not None else now
+        return (start, end)
+
+    def _fault_interval(self, record: Any, now: float) -> Tuple[float, float]:
+        end = record.cleared_t if record.cleared_t is not None else now
+        return (record.injected_t, end + self.detection_budget_s)
+
+    def stats(self, now: float) -> Dict[str, Any]:
+        incidents = self.evaluator.incidents
+        records = list(self.fault_plane.log)
+
+        matched_faults: Dict[int, float] = {}  # fault idx -> first fire_t
+        true_positives = 0
+        for incident in incidents:
+            i_start, i_end = self._incident_interval(incident, now)
+            hit = False
+            for idx, record in enumerate(records):
+                f_start, f_end = self._fault_interval(record, now)
+                if i_start <= f_end and f_start <= i_end:
+                    hit = True
+                    prev = matched_faults.get(idx)
+                    if prev is None or incident.fire_t < prev:
+                        matched_faults[idx] = incident.fire_t
+            if hit:
+                true_positives += 1
+
+        eligible = [
+            idx for idx, record in enumerate(records)
+            if record.kind in ALERTABLE_FAULT_KINDS
+            and (
+                (record.cleared_t if record.cleared_t is not None else now)
+                - record.injected_t
+            ) >= self.min_impact_s
+        ]
+        matched_eligible = [idx for idx in eligible if idx in matched_faults]
+
+        matched_by_kind: Dict[str, int] = {}
+        for idx in matched_faults:
+            kind = records[idx].kind
+            matched_by_kind[kind] = matched_by_kind.get(kind, 0) + 1
+
+        time_to_fire = sorted(
+            matched_faults[idx] - records[idx].injected_t
+            for idx in matched_eligible
+            if matched_faults[idx] >= records[idx].injected_t
+        )
+        n = len(time_to_fire)
+        median_ttf = time_to_fire[n // 2] if n else None
+
+        return {
+            "incidents": len(incidents),
+            "true_positives": true_positives,
+            "false_positives": len(incidents) - true_positives,
+            "precision": (
+                true_positives / len(incidents) if incidents else 1.0
+            ),
+            "faults_total": len(records),
+            "eligible_faults": len(eligible),
+            "matched_faults": len(matched_eligible),
+            "matched_by_kind": matched_by_kind,
+            "recall": (
+                len(matched_eligible) / len(eligible) if eligible else 1.0
+            ),
+            "time_to_fire_s": time_to_fire,
+            "median_time_to_fire_s": median_ttf,
+            "max_time_to_fire_s": time_to_fire[-1] if time_to_fire else None,
+        }

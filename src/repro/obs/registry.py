@@ -256,8 +256,12 @@ class _HistogramValue:
             prev = running
             running += self.counts[i]
             if running >= rank:
-                if self.counts[i] == 0:  # pragma: no cover - defensive
-                    return bound
+                if self.counts[i] == 0:
+                    # Only reachable at rank 0 (q=0) landing on an empty
+                    # leading bucket: the smallest observation is no
+                    # larger than this bucket's *lower* edge, so report
+                    # that, not the upper bound.
+                    return lower
                 frac = (rank - prev) / self.counts[i]
                 return lower + frac * (bound - lower)
             lower = bound
@@ -415,9 +419,18 @@ class MetricsRegistry:
 
 
 class RingBuffer:
-    """Fixed-capacity (t, value) series; appends drop the oldest."""
+    """Fixed-capacity (t, value) series; appends drop the oldest.
 
-    __slots__ = ("capacity", "_items", "_start")
+    Window-truncation semantics: once more than ``capacity`` points have
+    been appended, the buffer holds the *most recent* ``capacity``
+    points and :meth:`items` / :attr:`first` / :attr:`last` describe
+    that retained window only.  Consumers computing deltas or rates
+    (``Recorder.deltas``, the SLO engine) therefore always measure over
+    the retained window, never the series' full lifetime — ``first`` is
+    the oldest *surviving* point, which silently advances as old points
+    are evicted."""
+
+    __slots__ = ("capacity", "_items", "_start", "appended")
 
     def __init__(self, capacity: int) -> None:
         if capacity < 1:
@@ -425,8 +438,12 @@ class RingBuffer:
         self.capacity = capacity
         self._items: List[Tuple[float, float]] = []
         self._start = 0
+        #: Total points ever appended (keeps counting past eviction) —
+        #: lets incremental consumers detect new points in O(1).
+        self.appended = 0
 
     def append(self, t: float, value: float) -> None:
+        self.appended += 1
         if len(self._items) < self.capacity:
             self._items.append((t, value))
         else:
@@ -435,6 +452,40 @@ class RingBuffer:
 
     def items(self) -> List[Tuple[float, float]]:
         return self._items[self._start:] + self._items[:self._start]
+
+    def tail_window(
+        self,
+        start_t: Optional[float] = None,
+        end_t: Optional[float] = None,
+    ) -> List[Tuple[float, float]]:
+        """Chronological points in ``[start_t, end_t]`` plus the last
+        point *before* ``start_t`` as a rate baseline.  Scans backwards
+        from the newest point and stops at the baseline, so the cost is
+        O(window), not O(capacity) — the property the per-round SLO
+        burn-rate evaluation depends on."""
+        items = self._items
+        n = len(items)
+        out: List[Tuple[float, float]] = []
+        for i in range(n - 1, -1, -1):
+            point = items[(self._start + i) % n]
+            if end_t is not None and point[0] > end_t:
+                continue
+            out.append(point)
+            if start_t is not None and point[0] < start_t:
+                break
+        out.reverse()
+        return out
+
+    def tail(self, n: int) -> List[Tuple[float, float]]:
+        """The newest ``n`` retained points in chronological order."""
+        items = self._items
+        count = len(items)
+        n = min(n, count)
+        if n <= 0:
+            return []
+        return [
+            items[(self._start + count - n + i) % count] for i in range(n)
+        ]
 
     def __len__(self) -> int:
         return len(self._items)
@@ -463,24 +514,119 @@ class Recorder:
         self.capacity = capacity
         self.ticks = 0
         self._series: Dict[SeriesKey, RingBuffer] = {}
+        self._kind_cache: Dict[str, str] = {}
+        # Partial-tick plans: instrument name -> (child count at build
+        # time, [(child, [series buffers])]) — see _partial_plan.
+        self._plans: Dict[str, Tuple[int, List[Tuple[Any, List[RingBuffer]]]]] = {}
 
-    def tick(self, now: Optional[float] = None) -> int:
+    def tick(
+        self,
+        now: Optional[float] = None,
+        only: Optional[Sequence[str]] = None,
+    ) -> int:
         """One observation; returns the number of series touched.
-        ``now`` defaults to the tick index (deterministic)."""
+        ``now`` defaults to the tick index (deterministic).
+
+        ``only`` restricts the observation to the named instruments and
+        **skips collectors entirely** — a partial tick.  That makes it
+        cheap enough to run every probe round, but it only observes
+        fresh values for instruments incremented directly on hot paths;
+        collector-mirrored instruments would be stale, so they are not
+        sampled at all.  Full ticks (``only=None``) scrape everything.
+        """
         t = float(self.ticks if now is None else now)
-        samples = self.registry.scrape()
-        for sample in samples:
+        if only is not None:
+            touched = self._partial_tick(t, only)
+            self.ticks += 1
+            return touched
+        touched = 0
+        for sample in self.registry.scrape():
             key = (sample.name, sample.labels)
             buf = self._series.get(key)
             if buf is None:
                 buf = RingBuffer(self.capacity)
                 self._series[key] = buf
             buf.append(t, sample.value)
+            touched += 1
         self.ticks += 1
-        return len(samples)
+        return touched
+
+    def _buffer_for(self, key: SeriesKey) -> RingBuffer:
+        buf = self._series.get(key)
+        if buf is None:
+            buf = RingBuffer(self.capacity)
+            self._series[key] = buf
+        return buf
+
+    def _partial_plan(
+        self, instrument: Any,
+    ) -> List[Tuple[Any, List[RingBuffer]]]:
+        """Bind an instrument's children straight to their ring buffers
+        so partial ticks skip sample construction entirely.  The series
+        keys match :meth:`_Instrument.samples` exactly, so partial and
+        full ticks land on the same series."""
+        plan: List[Tuple[Any, List[RingBuffer]]] = []
+        for values, child in instrument.items():
+            pairs = instrument._label_pairs(values)
+            if instrument.kind == "histogram":
+                buffers = [
+                    self._buffer_for((
+                        f"{instrument.name}_bucket",
+                        pairs + (("le", _format_bound(bound)),),
+                    ))
+                    for bound in instrument.buckets
+                ]
+                buffers.append(self._buffer_for((
+                    f"{instrument.name}_bucket", pairs + (("le", "+Inf"),),
+                )))
+                buffers.append(
+                    self._buffer_for((f"{instrument.name}_sum", pairs))
+                )
+                buffers.append(
+                    self._buffer_for((f"{instrument.name}_count", pairs))
+                )
+            else:
+                buffers = [self._buffer_for((instrument.name, pairs))]
+            plan.append((child, buffers))
+        return plan
+
+    def _partial_tick(self, t: float, only: Sequence[str]) -> int:
+        touched = 0
+        for name in only:
+            instrument = self.registry.get(name)
+            if instrument is None:
+                continue
+            cached = self._plans.get(name)
+            n_children = len(instrument._children)
+            if cached is None or cached[0] != n_children:
+                cached = (n_children, self._partial_plan(instrument))
+                self._plans[name] = cached
+            if instrument.kind == "histogram":
+                for child, buffers in cached[1]:
+                    cumulative = child.cumulative_counts()
+                    for i, count in enumerate(cumulative):
+                        buffers[i].append(t, float(count))
+                    buffers[-2].append(t, child.sum)
+                    buffers[-1].append(t, float(child.count))
+                    touched += len(buffers)
+            else:
+                for child, buffers in cached[1]:
+                    buffers[0].append(t, child.value)
+                    touched += 1
+        return touched
 
     def series_keys(self) -> List[SeriesKey]:
         return list(self._series)
+
+    @property
+    def n_series(self) -> int:
+        """Series count — cheap cache-invalidation signal for consumers
+        (the alert evaluator) that memoise selector -> buffer maps."""
+        return len(self._series)
+
+    def buffer(self, key: SeriesKey) -> Optional[RingBuffer]:
+        """Direct ring-buffer access for one series (or ``None``)."""
+        return self._series.get(key)
 
     def series(
         self, name: str, labels: Tuple[Tuple[str, str], ...] = (),
@@ -496,12 +642,54 @@ class Recorder:
             return None
         return buf.last[1]
 
+    def _series_kind(self, name: str) -> str:
+        """``counter`` (monotonic: reset-aware delta) or ``gauge``
+        (last - first).  Histogram ``_bucket``/``_count``/``_sum``
+        children count as counters.  Unknown names default to gauge and
+        are *not* cached — the instrument may register later."""
+        kind = self._kind_cache.get(name)
+        if kind is not None:
+            return kind
+        instrument = self.registry.get(name)
+        if instrument is None:
+            for suffix in ("_bucket", "_count", "_sum"):
+                if name.endswith(suffix):
+                    instrument = self.registry.get(name[: -len(suffix)])
+                    if instrument is not None:
+                        break
+        if instrument is None:
+            return "gauge"
+        kind = (
+            "counter" if instrument.kind in ("counter", "histogram")
+            else "gauge"
+        )
+        self._kind_cache[name] = kind
+        return kind
+
     def deltas(self) -> Dict[SeriesKey, float]:
-        """last - first per series over the recorded window."""
+        """Movement per series over the recorded window.
+
+        Gauge series report ``last - first``.  Counter-kind series
+        (counters and histogram children) report the *reset-aware
+        increase*: the sum of positive increments, treating any decrease
+        as a restart of a fresh incarnation (crash-restart, switch wipe)
+        whose current value all counts — so 0 -> 100 -> 0 -> 5 is an
+        increase of 105, not a misleading delta of 5."""
         out: Dict[SeriesKey, float] = {}
         for key, buf in self._series.items():
-            if buf.first is not None and buf.last is not None:
-                out[key] = buf.last[1] - buf.first[1]
+            points = buf.items()
+            if not points:
+                continue
+            if self._series_kind(key[0]) == "counter":
+                increase = 0.0
+                prev = points[0][1]
+                for _, value in points[1:]:
+                    step = value - prev
+                    increase += step if step >= 0 else value
+                    prev = value
+                out[key] = increase
+            else:
+                out[key] = points[-1][1] - points[0][1]
         return out
 
     def top_deltas(self, n: int = 10) -> List[Tuple[str, float]]:

@@ -209,6 +209,27 @@ class TestHistogram:
     def test_default_buckets_are_ascending(self):
         assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
 
+    def test_quantile_zero_with_empty_leading_bucket(self):
+        # Regression: q=0 landing on an empty first bucket used to
+        # report that bucket's upper bound; the smallest observation
+        # can be no larger than its *lower* edge.
+        hist = MetricsRegistry().histogram("h", buckets=(1.0, 2.0))
+        hist.observe(1.5)
+        assert hist.labels().quantile(0.0) == 0.0
+
+    def test_quantile_extremes(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0, 2.0))
+        hist.observe(0.5)
+        hist.observe(1.5)
+        assert hist.labels().quantile(0.0) == 0.0
+        assert hist.labels().quantile(1.0) == 2.0
+
+    def test_quantile_in_inf_bucket_returns_last_finite_bound(self):
+        hist = MetricsRegistry().histogram("h", buckets=(1.0, 2.0))
+        hist.observe(0.5)
+        hist.observe(50.0)
+        assert hist.labels().quantile(0.99) == 2.0
+
 
 class TestRingBuffer:
     def test_append_and_order(self):
@@ -227,6 +248,41 @@ class TestRingBuffer:
     def test_zero_capacity_rejected(self):
         with pytest.raises(MetricError):
             RingBuffer(0)
+
+    def test_appended_counts_past_truncation(self):
+        buf = RingBuffer(3)
+        for t in range(5):
+            buf.append(t, t)
+        assert buf.appended == 5
+        assert len(buf) == 3
+
+    def test_tail_across_wraparound(self):
+        buf = RingBuffer(3)
+        for t in range(5):
+            buf.append(t, t * 10)
+        assert buf.tail(2) == [(3, 30), (4, 40)]
+        assert buf.tail(10) == [(2, 20), (3, 30), (4, 40)]
+        assert buf.tail(0) == []
+
+    def test_tail_window_across_wraparound(self):
+        buf = RingBuffer(3)
+        for t in range(5):
+            buf.append(t, t * 10)
+        # Includes one point before start_t as the rate baseline.
+        assert buf.tail_window(3.5, 4.5) == [(3, 30), (4, 40)]
+        assert buf.tail_window(2.5, 3.5) == [(2, 20), (3, 30)]
+        assert buf.tail_window() == buf.items()
+        # Window entirely after the newest point: nothing but baseline.
+        assert buf.tail_window(10.0, 20.0) == [(4, 40)]
+
+    def test_wraparound_first_last_consistent(self):
+        buf = RingBuffer(4)
+        for t in range(11):
+            buf.append(t, t)
+        assert buf.first == (7, 7)
+        assert buf.last == (10, 10)
+        assert buf.items()[0] == buf.first
+        assert buf.items()[-1] == buf.last
 
 
 class TestRecorder:
@@ -273,6 +329,32 @@ class TestRecorder:
         assert top[0] == ('m_total{k="a"}', 100.0)
         # zero-delta series are excluded entirely
         assert all('k="c"' not in name for name, _ in top)
+
+    def test_deltas_counter_reset_aware(self):
+        # Regression: a counter reset mid-window (crash-restart, switch
+        # wipe) must count the fresh incarnation, not report a tiny or
+        # negative delta.  0 -> 100 -> 0 -> 5 is an increase of 105.
+        registry = MetricsRegistry()
+        state = {"n": 0}
+        registry.register_collector(
+            "src", lambda reg: reg.counter("r_total").set_total(state["n"]))
+        recorder = Recorder(registry, capacity=8)
+        for n in (0, 100, 0, 5):
+            state["n"] = n
+            recorder.tick()
+        assert recorder.deltas()[("r_total", ())] == 105.0
+        assert recorder.top_deltas(1) == [("r_total", 105.0)]
+
+    def test_deltas_gauge_is_last_minus_first(self):
+        registry = MetricsRegistry()
+        state = {"v": 5.0}
+        registry.register_collector(
+            "src", lambda reg: reg.gauge("depth").set(state["v"]))
+        recorder = Recorder(registry, capacity=8)
+        recorder.tick()
+        state["v"] = 2.0
+        recorder.tick()
+        assert recorder.deltas()[("depth", ())] == -3.0
 
     def test_capacity_bounds_series(self):
         registry, state = self._registry_with_source()
@@ -364,6 +446,49 @@ class TestValidator:
 
     def test_accepts_empty_text(self):
         assert validate_prometheus_text("") == []
+
+
+class TestExportLinterCli:
+    GOOD = "# TYPE x_total counter\nx_total 1\n"
+    BAD = "# TYPE x_total counter\nx_total 1\nx_total 2\n"
+
+    def _main(self, argv):
+        from repro.obs.export import main
+        return main(argv)
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "ok.prom"
+        path.write_text(self.GOOD)
+        assert self._main([str(path)]) == 0
+        assert "ok (1 samples)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        path = tmp_path / "bad.prom"
+        path.write_text(self.BAD)
+        assert self._main([str(path)]) == 1
+        assert "bad.prom:" in capsys.readouterr().out
+
+    def test_unreadable_file_exits_two(self, tmp_path):
+        assert self._main([str(tmp_path / "missing.prom")]) == 2
+
+    def test_no_args_is_usage_error(self, capsys):
+        assert self._main([]) == 2
+        assert "usage:" in capsys.readouterr().err
+
+    def test_worst_status_wins(self, tmp_path):
+        good = tmp_path / "ok.prom"
+        good.write_text(self.GOOD)
+        missing = tmp_path / "missing.prom"
+        assert self._main([str(good), str(missing)]) == 2
+
+    def test_stdin_dash(self, monkeypatch, capsys):
+        import io
+
+        monkeypatch.setattr("sys.stdin", io.StringIO(self.GOOD))
+        assert self._main(["-"]) == 0
+        assert "<stdin>: ok" in capsys.readouterr().out
+        monkeypatch.setattr("sys.stdin", io.StringIO(self.BAD))
+        assert self._main(["-"]) == 1
 
 
 class TestFormatSeries:
