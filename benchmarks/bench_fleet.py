@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Fleet-runner speedup benchmark (sharded-soak PR gate).
+
+Runs the same chaos seed corpus through :class:`~repro.fleet.SoakFleet`
+serially and sharded over N workers, verifies the merged reports are
+byte-identical (the determinism contract), and records the wall-clock
+speedup to ``BENCH_fleet.json``.  CI runs it with ``--workers 8
+--min-speedup 3`` on multi-core runners — the acceptance bar is a >= 3x
+speedup on the 200-seed tier.  The report always records the machine's
+usable CPU count: on a single-core box the honest speedup is ~1x and
+the gate only makes sense where the cores exist.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fleet.py \
+        [--seeds 200] [--events 10] [--workers 8] \
+        [--out BENCH_fleet.json] [--min-speedup 3.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.chaos import ChaosConfig
+from repro.fleet import FleetConfig, SoakFleet
+
+
+def usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def run_once(config: ChaosConfig, seeds, workers: int):
+    fleet = SoakFleet(
+        config, seeds, fleet=FleetConfig(workers=workers),
+    )
+    started = time.perf_counter()
+    report = fleet.run()
+    return time.perf_counter() - started, report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seeds", type=int, default=200,
+                        help="corpus size (seeds 0..N-1)")
+    parser.add_argument("--events", type=int, default=10,
+                        help="chaos events per seed (the CI soak tier "
+                             "shape)")
+    parser.add_argument("--vips", type=int, default=8)
+    parser.add_argument("--workers", type=int, default=8)
+    parser.add_argument("--out", default="BENCH_fleet.json")
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="fail (exit 1) below this serial/sharded wall-clock ratio "
+             "(the PR gate is 3.0 at 8 workers on >= 4 cores)",
+    )
+    args = parser.parse_args(argv)
+
+    config = ChaosConfig(
+        seed=0, n_events=args.events, n_vips=args.vips,
+        channel_loss=0.3, channel_delay=0.2, crash_prob=0.02,
+    )
+    seeds = list(range(args.seeds))
+
+    # Warm caches (imports, allocator) with a slice of the corpus.
+    run_once(config, seeds[: max(2, args.seeds // 20)], workers=1)
+
+    serial_s, serial_report = run_once(config, seeds, workers=1)
+    sharded_s, sharded_report = run_once(config, seeds, args.workers)
+
+    identical = serial_report.to_json() == sharded_report.to_json()
+    speedup = serial_s / sharded_s
+    report = {
+        "seeds": args.seeds,
+        "events_per_seed": args.events,
+        "workers": args.workers,
+        "cpus": usable_cpus(),
+        "serial_s": round(serial_s, 3),
+        "sharded_s": round(sharded_s, 3),
+        "speedup": round(speedup, 3),
+        "reports_identical": identical,
+        "merged_sha256": sharded_report.sha256(),
+    }
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    print(f"{args.seeds} seeds x {args.events} events on "
+          f"{report['cpus']} cpu(s): serial {serial_s:.1f}s, "
+          f"{args.workers} workers {sharded_s:.1f}s "
+          f"({speedup:.2f}x speedup)")
+    print(f"merged reports identical: {identical} "
+          f"(sha256 {report['merged_sha256'][:16]}...)")
+    print(f"wrote {args.out}")
+
+    if not identical:
+        print("FAIL: sharded merge differs from the serial aggregate",
+              file=sys.stderr)
+        return 1
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        print(f"FAIL: speedup {speedup:.2f}x below the required "
+              f"{args.min_speedup:.1f}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -171,6 +171,30 @@ def _build_parser() -> argparse.ArgumentParser:
                             "here; feed it to 'recover' to audit restores")
     chaos.add_argument("--snapshot-interval", type=int, default=32,
                        help="journal ops between snapshot checkpoints")
+    chaos.add_argument("--seeds", type=int, default=1, metavar="N",
+                       help="soak a corpus of N seeds (seed .. seed+N-1) "
+                            "through the sharded fleet runner")
+    chaos.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="worker processes for the fleet runner; the "
+                            "merged report is byte-identical for any N")
+    chaos.add_argument("--report", metavar="PATH", default=None,
+                       help="write the merged fleet report (canonical "
+                            "JSON) here")
+    chaos.add_argument("--quarantine-dir", metavar="DIR",
+                       default="fleet-quarantine",
+                       help="where poison-seed artifacts land (replay "
+                            "with: chaos --replay DIR/seedN.json)")
+    chaos.add_argument("--timeout-s", type=float, default=None,
+                       metavar="S",
+                       help="per-seed wall-clock budget; a wedged worker "
+                            "is killed, retried, then quarantined")
+    chaos.add_argument("--retries", type=int, default=None, metavar="N",
+                       help="worker attempts per seed before quarantine "
+                            "(default: shared RetryPolicy budget)")
+    chaos.add_argument("--inject-worker-crash", type=int, action="append",
+                       default=[], metavar="SEED",
+                       help="kill the worker for SEED on every attempt "
+                            "(CI quarantine-path smoke; repeatable)")
 
     health = sub.add_parser(
         "health",
@@ -200,6 +224,13 @@ def _build_parser() -> argparse.ArgumentParser:
                              "violation only)")
     health.add_argument("--tail", type=int, default=12, metavar="N",
                         help="print the last N timeline entries")
+    health.add_argument("--seeds", type=int, default=1, metavar="N",
+                        help="soak a corpus of N seeds through the "
+                             "sharded fleet runner")
+    health.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="worker processes for the fleet runner")
+    health.add_argument("--report", metavar="PATH", default=None,
+                        help="write the merged fleet report here")
 
     recover = sub.add_parser(
         "recover",
@@ -272,6 +303,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     alerts.add_argument("--seed", type=int, default=0,
                         help="first seed of the sweep")
+    alerts.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="worker processes for the sharded soak; "
+                             "scores are identical for any N")
     alerts.add_argument("--seeds", type=int, default=1, metavar="N",
                         help="run N consecutive seeds and aggregate")
     alerts.add_argument("--events", type=int, default=60)
@@ -501,10 +535,99 @@ def _cmd_workload_info(path: str) -> int:
     return 0
 
 
+def _run_fleet(args, config, *, mode: str) -> int:
+    """Shared sharded-soak path for ``chaos``/``health`` fleet modes."""
+    from repro.control.retry import RetryPolicy
+    from repro.fleet import DEFAULT_FLEET_RETRY, FleetConfig, SoakFleet
+
+    seeds = list(range(args.seed, args.seed + args.seeds))
+    retries = getattr(args, "retries", None)
+    retry = (
+        DEFAULT_FLEET_RETRY if retries is None
+        else RetryPolicy(max_attempts=max(1, retries), base_backoff_s=0.0)
+    )
+    fleet_cfg = FleetConfig(
+        workers=max(1, args.workers),
+        timeout_s=getattr(args, "timeout_s", None),
+        retry=retry,
+        quarantine_dir=getattr(args, "quarantine_dir", "fleet-quarantine"),
+        crash_seeds=tuple(getattr(args, "inject_worker_crash", ()) or ()),
+    )
+    fleet = SoakFleet(config, seeds, fleet=fleet_cfg)
+    started = time.monotonic()
+    report = fleet.run()
+    elapsed = time.monotonic() - started
+    totals = report.totals
+    print(f"fleet: {len(seeds)} seed(s) over {fleet_cfg.workers} "
+          f"worker(s) in {elapsed:.1f}s "
+          f"({fleet.metrics.seeds_retried.value():g} retried, "
+          f"{totals['seeds_quarantined']} quarantined)")
+    print(f"  {totals['steps_run']} events total, "
+          f"{totals['crashes']:g} controller crashes survived, "
+          f"{totals['violations']} violations")
+    width = max((len(k) for k in totals["event_counts"]), default=1)
+    for kind in sorted(totals["event_counts"]):
+        print(f"  {kind.ljust(width)}  {totals['event_counts'][kind]:g}")
+    if mode == "health" and "health" in totals:
+        health = totals["health"]
+        print(f"  detection: {health['faults_detected']:g}/"
+              f"{health['faults_injected']:g} faults, "
+              f"{health['false_positives']:g} false positives")
+    for q in report.quarantined:
+        where = q.get("artifact_path")
+        print(f"  QUARANTINED seed {q['seed']}: {q['reason']} after "
+              f"{q['attempts']} attempt(s)"
+              + (f" -> {where}" if where else ""))
+        if where:
+            print(f"    replay with: python -m repro chaos "
+                  f"--replay {where}")
+    if args.report is not None:
+        report.save(args.report)
+        print(f"merged fleet report -> {args.report} "
+              f"(sha256 {report.sha256()})")
+    if report.ok:
+        print("invariants: all held across the corpus")
+        return 0
+    print("violating seeds: "
+          + ", ".join(str(s) for s in report.violating_seeds))
+    for result in report.results:
+        for violation in result["violations"]:
+            print(f"  seed {result['seed']}: {violation}")
+    return 1
+
+
 def _cmd_chaos(args) -> int:
     from repro.chaos import ChaosConfig, ChaosEngine, replay_artifact
 
     if args.replay is not None:
+        import json
+
+        try:
+            with open(args.replay, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError) as error:
+            print(f"cannot replay artifact: {error}", file=sys.stderr)
+            return 2
+        if "quarantine" in payload:
+            # A fleet quarantine artifact: re-run the poison seed
+            # in-process so its failure (if deterministic) surfaces here.
+            from repro.fleet import replay_quarantine
+
+            q = payload["quarantine"]
+            print(f"replaying quarantined seed {q['seed']} "
+                  f"(reason: {q['reason']}, {q['attempts']} worker "
+                  f"attempt(s), exit code {q['exitcode']})")
+            report = replay_quarantine(payload)
+            print(f"{report.steps_run} events replayed in-process")
+            if report.ok:
+                print("invariants: all held — the failure was in the "
+                      "worker environment, not the seed")
+                return 0
+            print(f"violations ({len(report.violations)}), first at step "
+                  f"{report.first_violation_step}:")
+            for violation in report.violations:
+                print(f"  {violation}")
+            return 1
         try:
             report = replay_artifact(args.replay)
         except (OSError, ValueError, KeyError) as error:
@@ -535,6 +658,8 @@ def _cmd_chaos(args) -> int:
         channel_delay=args.channel_delay,
         channel_partitions=args.channel_partition,
     )
+    if args.seeds > 1 or args.workers > 1 or args.inject_worker_crash:
+        return _run_fleet(args, config, mode="chaos")
     engine = ChaosEngine(config)
     started = time.monotonic()
     report = engine.run()
@@ -616,6 +741,8 @@ def _cmd_health(args) -> int:
         monitor_rounds_per_step=args.rounds_per_step,
         background_loss=args.background_loss,
     )
+    if args.seeds > 1 or args.workers > 1:
+        return _run_fleet(args, config, mode="health")
     engine = ChaosEngine(config)
     started = time.monotonic()
     report = engine.run()
@@ -753,7 +880,16 @@ def _cmd_slo(args) -> int:
 def _cmd_alerts(args) -> int:
     import os
 
-    from repro.chaos import ChaosEngine
+    from repro.fleet import FleetConfig, SoakFleet
+    from repro.obs import Incident
+
+    base_config = _slo_config(args, args.seed)
+    seeds = list(range(args.seed, args.seed + args.seeds))
+    fleet = SoakFleet(
+        base_config, seeds,
+        fleet=FleetConfig(workers=max(1, args.workers)),
+    )
+    merged = fleet.run()
 
     totals = {
         "incidents": 0, "true_positives": 0, "false_positives": 0,
@@ -763,32 +899,31 @@ def _cmd_alerts(args) -> int:
     time_to_fire: list = []
     saved = 0
     violations = 0
-    for seed in range(args.seed, args.seed + args.seeds):
-        config = _slo_config(args, seed)
-        engine = ChaosEngine(config)
-        report = engine.run()
-        if not report.ok:
-            violations += len(report.violations)
-            for violation in report.violations:
+    for result in merged.results:
+        seed = result["seed"]
+        if not result["ok"]:
+            violations += len(result["violations"])
+            for violation in result["violations"]:
                 print(f"seed {seed}: VIOLATION {violation}")
-        scorecard = report.slo["scorecard"]
+        scorecard = result["slo"]["scorecard"]
         for key in totals:
             totals[key] += scorecard[key]
         for kind, n in scorecard["matched_by_kind"].items():
             matched_by_kind[kind] = matched_by_kind.get(kind, 0) + n
         time_to_fire.extend(scorecard["time_to_fire_s"])
-        for inc in report.incidents:
-            print(f"seed {seed}: {inc.incident_id} "
-                  f"(suspect: "
-                  f"{(inc.suspected_cause or {}).get('target', 'none')})")
-            _print_incident_timeline(inc.to_dict(), args.tail)
+        for inc_dict in result["incidents"]:
+            suspect = inc_dict.get("suspected_cause") or {}
+            print(f"seed {seed}: {inc_dict['incident_id']} "
+                  f"(suspect: {suspect.get('target', 'none')})")
+            _print_incident_timeline(inc_dict, args.tail)
             if args.incident_dir is not None:
                 os.makedirs(args.incident_dir, exist_ok=True)
                 path = os.path.join(
                     args.incident_dir,
-                    f"seed{seed}-{inc.incident_id.replace(':', '-')}.json",
+                    f"seed{seed}-"
+                    f"{inc_dict['incident_id'].replace(':', '-')}.json",
                 )
-                inc.save(path)
+                Incident.from_dict(inc_dict).save(path)
                 saved += 1
     if saved:
         print(f"{saved} incident artifact(s) -> {args.incident_dir}")

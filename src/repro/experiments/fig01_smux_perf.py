@@ -74,7 +74,6 @@ def run(config: Fig01Config = Fig01Config()) -> Fig01Result:
         phases = [LoadPhase(0.0, horizon, load)] if load > 0 else []
         station = MuxStation(
             SMUX_BASE_LATENCY, config.capacity_pps, phases,
-            seed=config.seed,
         )
         probe_at = horizon - 1.0
         samples = [

@@ -53,7 +53,6 @@ class DeploymentLatencyModel:
             self.config.smux_capacity_pps,
             [LoadPhase(0.0, horizon, rate_pps)],
             buffer_packets=self.config.smux_buffer_packets,
-            seed=self.config.seed,
         )
 
     def smux_rtt_samples(self, per_smux_pps: float, n: Optional[int] = None) -> np.ndarray:

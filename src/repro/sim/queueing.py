@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import math
 import random
+from bisect import bisect_right
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
@@ -110,8 +111,12 @@ class MuxStation:
 
     ``capacity_pps`` is the service rate; ``buffer_packets`` bounds the
     backlog (drop-tail beyond).  The station pre-integrates the fluid
-    backlog at phase boundaries so queries at arbitrary times are O(#
-    phases).
+    backlog at phase boundaries and keeps a sorted phase-start array, so
+    queries at arbitrary times are O(log #phases).
+
+    Every sampling method takes an explicit caller-owned RNG: a station
+    holds no RNG of its own, so interleaving two query streams on one
+    station can never perturb each other's samples.
     """
 
     def __init__(
@@ -122,7 +127,6 @@ class MuxStation:
         *,
         buffer_packets: float = 8192.0,
         contention_factor: float = 0.15,
-        seed: int = 0,
     ) -> None:
         if capacity_pps <= 0:
             raise ValueError("capacity must be positive")
@@ -137,7 +141,7 @@ class MuxStation:
         self.buffer_packets = buffer_packets
         self.contention_factor = contention_factor
         self.phases = ordered
-        self._rng = random.Random(seed)
+        self._starts = [p.start_s for p in ordered]
         self._backlog_at_start = self._integrate_backlog()
 
     def _integrate_backlog(self) -> List[float]:
@@ -159,35 +163,39 @@ class MuxStation:
 
     # -- queries --------------------------------------------------------------
 
+    def _phase_index_at(self, t: float) -> int:
+        """Index of the last phase starting at or before ``t`` (-1 when
+        ``t`` precedes every phase)."""
+        return bisect_right(self._starts, t) - 1
+
     def offered_load_at(self, t: float) -> float:
-        for phase in self.phases:
-            if phase.start_s <= t < phase.end_s:
-                return phase.rate_pps
-        return 0.0
+        index = self._phase_index_at(t)
+        if index < 0:
+            return 0.0
+        phase = self.phases[index]
+        return phase.rate_pps if t < phase.end_s else 0.0
 
     def utilization_at(self, t: float) -> float:
         """Service utilization rho in [0, 1] (CPU utilization, Figure 1b)."""
         return min(1.0, self.offered_load_at(t) / self.capacity_pps)
 
     def backlog_at(self, t: float) -> float:
-        """Fluid backlog in packets at time ``t``."""
-        backlog = 0.0
-        prev_end: Optional[float] = None
-        for index, phase in enumerate(self.phases):
-            if t < phase.start_s:
-                break
-            backlog = self._backlog_at_start[index]
-            horizon = min(t, phase.end_s)
-            net = phase.rate_pps - self.capacity_pps
-            backlog += net * (horizon - phase.start_s)
-            backlog = min(self.buffer_packets, max(0.0, backlog))
-            prev_end = phase.end_s
-            if t < phase.end_s:
-                return backlog
-        if prev_end is not None and t >= prev_end:
-            drain = (t - prev_end) * self.capacity_pps
-            backlog = max(0.0, backlog - drain)
-        return backlog
+        """Fluid backlog in packets at time ``t`` (one bisect, not a
+        phase scan; bit-identical to integrating phase by phase)."""
+        index = self._phase_index_at(t)
+        if index < 0:
+            return 0.0
+        phase = self.phases[index]
+        backlog = self._backlog_at_start[index]
+        horizon = min(t, phase.end_s)
+        net = phase.rate_pps - self.capacity_pps
+        backlog += net * (horizon - phase.start_s)
+        backlog = min(self.buffer_packets, max(0.0, backlog))
+        if t < phase.end_s:
+            return backlog
+        # Past the covering phase's end: the queue drains at full rate.
+        drain = (t - phase.end_s) * self.capacity_pps
+        return max(0.0, backlog - drain)
 
     def is_dropping_at(self, t: float) -> bool:
         """True when the buffer is full and load exceeds capacity."""
@@ -227,11 +235,11 @@ class MuxStation:
         rho = min(self.utilization_at(t), 0.97)
         return min(6.0, 1.0 + self.contention_factor * rho / (1.0 - rho))
 
-    def latency_sample(self, t: float, rng: Optional[random.Random] = None) -> float:
+    def latency_sample(self, t: float, rng: random.Random) -> float:
         """Added one-way latency of a packet arriving at ``t``: base
         processing (inflated by CPU contention) + fluid backlog wait +
-        stationary queueing jitter."""
-        rng = rng if rng is not None else self._rng
+        stationary queueing jitter.  ``rng`` is required: the sample
+        stream belongs to the caller, never to the station."""
         backlog_wait = self.backlog_at(t) / self.capacity_pps
         return (
             self.base_latency.sample(rng) * self.contention_multiplier(t)
@@ -244,12 +252,9 @@ def smux_station(
     phases: Sequence[LoadPhase],
     *,
     capacity_pps: float = SMUX_CAPACITY_PPS,
-    seed: int = 0,
 ) -> MuxStation:
     """An SMux station with the paper's capacity and latency laws."""
-    return MuxStation(
-        SMUX_BASE_LATENCY, capacity_pps, phases, seed=seed
-    )
+    return MuxStation(SMUX_BASE_LATENCY, capacity_pps, phases)
 
 
 def hmux_station(
@@ -257,7 +262,6 @@ def hmux_station(
     *,
     link_gbps: float = 10.0,
     packet_bytes: int = 512,
-    seed: int = 0,
 ) -> MuxStation:
     """An HMux station: line-rate service, so its capacity in pps is the
     link rate over the packet size ("it can handle packets at line rate,
@@ -267,7 +271,6 @@ def hmux_station(
         HMUX_BASE_LATENCY, capacity, phases,
         buffer_packets=64 * 1024,
         contention_factor=0.0,  # ASIC pipeline: no CPU contention
-        seed=seed,
     )
 
 

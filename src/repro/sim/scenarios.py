@@ -276,13 +276,10 @@ def run_hmux_capacity(
 
     for i in range(config.n_smuxes):
         ref = MuxRef.smux(i)
-        fleet.add(ref, smux_station(
-            [
-                LoadPhase(0.0, t1, per_smux_low),
-                LoadPhase(t1, t2, per_smux_high),
-            ],
-            seed=config.seed + i,
-        ))
+        fleet.add(ref, smux_station([
+            LoadPhase(0.0, t1, per_smux_low),
+            LoadPhase(t1, t2, per_smux_high),
+        ]))
         for aggregate in SMUX_AGGREGATES:
             route_table.announce(aggregate, ref)
     hmux_ref = MuxRef.hmux(0)
@@ -290,7 +287,6 @@ def run_hmux_capacity(
         [LoadPhase(t2, t3, config.high_rate_pps)],
         link_gbps=config.hmux_link_gbps,
         packet_bytes=config.packet_bytes,
-        seed=config.seed + 99,
     ))
 
     # At t2 all VIPs move to the HMux: its /32 wins by LPM from then on.
@@ -341,7 +337,7 @@ def run_failover(
 
     smux_ref = MuxRef.smux(0)
     fleet.add(smux_ref, smux_station(
-        [LoadPhase(0.0, end, config.background_pps)], seed=config.seed,
+        [LoadPhase(0.0, end, config.background_pps)],
     ))
     for aggregate in SMUX_AGGREGATES:
         route_table.announce(aggregate, smux_ref)
@@ -351,7 +347,6 @@ def run_failover(
     for ref in (healthy_ref, failing_ref):
         fleet.add(ref, hmux_station(
             [LoadPhase(0.0, end, config.background_pps)],
-            seed=config.seed + ref.ident,
         ))
     route_table.announce(Prefix.host(vip2), healthy_ref)
     route_table.announce(Prefix.host(vip3), failing_ref)
@@ -415,7 +410,7 @@ def run_migration(
 
     smux_ref = MuxRef.smux(0)
     fleet.add(smux_ref, smux_station(
-        [LoadPhase(0.0, end, config.background_pps)], seed=config.seed,
+        [LoadPhase(0.0, end, config.background_pps)],
     ))
     for aggregate in SMUX_AGGREGATES:
         route_table.announce(aggregate, smux_ref)
@@ -424,7 +419,6 @@ def run_migration(
     for ref in (hmux_a, hmux_b):
         fleet.add(ref, hmux_station(
             [LoadPhase(0.0, end, config.background_pps)],
-            seed=config.seed + ref.ident,
         ))
     # Initial placement: VIP1 and VIP3 on HMux A; VIP2 on SMuxes only.
     route_table.announce(Prefix.host(vip1), hmux_a)
@@ -494,14 +488,12 @@ def run_smux_failure(
     for ref in refs:
         fleet.add(ref, smux_station(
             [LoadPhase(0.0, end, config.background_pps)],
-            seed=config.seed + ref.ident,
         ))
         for aggregate in SMUX_AGGREGATES:
             route_table.announce(aggregate, ref)
     hmux_ref = MuxRef.hmux(1)
     fleet.add(hmux_ref, hmux_station(
         [LoadPhase(0.0, end, config.background_pps)],
-        seed=config.seed + 77,
     ))
     route_table.announce(Prefix.host(vip_hmux), hmux_ref)
 

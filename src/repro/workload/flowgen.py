@@ -7,6 +7,7 @@ This module provides deterministic, seeded generators for both.
 
 from __future__ import annotations
 
+import bisect
 import random
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence, Tuple
@@ -58,6 +59,13 @@ class PoissonPacketStream:
         self.packet_bytes = packet_bytes
         self.seed = seed
         self._flows = self._make_flows(flows_per_vip)
+        # One Poisson process per stream, lazily materialized from t=0
+        # and cached so any window query reads the same realization:
+        # generate(0, 1) then generate(1, 2) is exactly generate(0, 2).
+        self._arrival_times: List[float] = []
+        self._arrival_flows: List[int] = []
+        self._gen_rng = random.Random((seed << 16) ^ 0xFACE)
+        self._gen_now = 0.0
 
     def _make_flows(self, flows_per_vip: int) -> List[FiveTuple]:
         rng = random.Random(self.seed)
@@ -74,15 +82,36 @@ class PoissonPacketStream:
                 ))
         return flows
 
+    def _extend_to(self, end_s: float) -> None:
+        """Materialize the process until the first arrival at or beyond
+        ``end_s`` has been drawn (so every arrival < ``end_s`` is cached)."""
+        while self._gen_now < end_s:
+            self._gen_now += self._gen_rng.expovariate(self.rate_pps)
+            self._arrival_times.append(self._gen_now)
+            self._arrival_flows.append(
+                self._gen_rng.randrange(len(self._flows))
+            )
+
     def generate(self, start_s: float, end_s: float) -> Iterator[TimedPacket]:
-        """Packets with exponential inter-arrival times in [start, end)."""
-        rng = random.Random((self.seed << 16) ^ 0xFACE)
-        now = start_s
-        while True:
-            now += rng.expovariate(self.rate_pps)
+        """Packets with exponential inter-arrival times in [start, end).
+
+        Windows compose: the stream is ONE Poisson process from t=0, so
+        consecutive (or overlapping, or repeated) windows all observe
+        the same arrival realization — ``generate(0, 1)`` followed by
+        ``generate(1, 2)`` yields exactly the packets of
+        ``generate(0, 2)``.  Arrivals are cached up to the furthest
+        window end queried so far (memory grows with ``rate_pps *
+        max(end_s)``)."""
+        if end_s <= start_s:
+            return
+        self._extend_to(end_s)
+        times = self._arrival_times
+        lo = bisect.bisect_left(times, start_s)
+        for index in range(lo, len(times)):
+            now = times[index]
             if now >= end_s:
                 return
-            flow = self._flows[rng.randrange(len(self._flows))]
+            flow = self._flows[self._arrival_flows[index]]
             yield TimedPacket(now, Packet(flow, size_bytes=self.packet_bytes))
 
 

@@ -33,11 +33,15 @@ class TestChannelSoak:
         channel fault path actually exercised — including crashes that
         strand unacked in-flight commands (fence_rejects counts the
         dead incarnation's duplicates being refused)."""
+        from repro.fleet import pool_map_reports
+
         agg: dict = {}
         kinds: set = set()
         crashes = 0
-        for seed in range(200):
-            report = run_seed(seed)
+        configs = [
+            ChaosConfig(seed=seed, **SOAK) for seed in range(200)
+        ]
+        for seed, report in enumerate(pool_map_reports(configs)):
             assert report.ok, (
                 f"seed {seed}: {[str(v) for v in report.violations]}"
             )

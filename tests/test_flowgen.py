@@ -64,3 +64,121 @@ class TestPingProbe:
     def test_validation(self):
         with pytest.raises(ValueError):
             PingProbe(VIPS[0], interval_s=0.0)
+
+
+def _key(packet):
+    return (packet.time_s, packet.packet.flow, packet.packet.size_bytes)
+
+
+class TestWindowedGeneration:
+    """generate() must read one cached Poisson realization: windowed
+    queries concatenate to exactly the one-pass sequence."""
+
+    def test_two_windows_equal_one_pass(self):
+        one_pass = PoissonPacketStream(VIPS, 500.0, seed=11)
+        windowed = PoissonPacketStream(VIPS, 500.0, seed=11)
+        got = list(windowed.generate(0.0, 1.0)) + \
+            list(windowed.generate(1.0, 2.0))
+        want = list(one_pass.generate(0.0, 2.0))
+        assert [_key(p) for p in got] == [_key(p) for p in want]
+
+    def test_many_uneven_windows_equal_one_pass(self):
+        import random as _random
+
+        edges = [0.0]
+        rng = _random.Random(3)
+        while edges[-1] < 3.0:
+            edges.append(edges[-1] + rng.uniform(0.01, 0.6))
+        one_pass = PoissonPacketStream(VIPS, 800.0, seed=12)
+        windowed = PoissonPacketStream(VIPS, 800.0, seed=12)
+        got = []
+        for lo, hi in zip(edges, edges[1:]):
+            got.extend(windowed.generate(lo, hi))
+        want = [p for p in one_pass.generate(0.0, edges[-1])]
+        assert [_key(p) for p in got] == [_key(p) for p in want]
+
+    def test_rereading_a_window_is_idempotent(self):
+        stream = PoissonPacketStream(VIPS, 400.0, seed=13)
+        first = [_key(p) for p in stream.generate(0.5, 1.5)]
+        stream.generate(2.0, 4.0)  # extend the realization past it
+        again = [_key(p) for p in stream.generate(0.5, 1.5)]
+        assert first == again
+
+    def test_out_of_order_windows_share_realization(self):
+        forward = PoissonPacketStream(VIPS, 600.0, seed=14)
+        backward = PoissonPacketStream(VIPS, 600.0, seed=14)
+        a = [_key(p) for p in forward.generate(0.0, 1.0)]
+        b = [_key(p) for p in forward.generate(1.0, 2.0)]
+        b2 = [_key(p) for p in backward.generate(1.0, 2.0)]
+        a2 = [_key(p) for p in backward.generate(0.0, 1.0)]
+        assert (a, b) == (a2, b2)
+
+    def test_empty_and_inverted_windows(self):
+        stream = PoissonPacketStream(VIPS, 100.0, seed=15)
+        assert list(stream.generate(1.0, 1.0)) == []
+        assert list(stream.generate(2.0, 1.0)) == []
+
+
+class TestProbeFieldsMatchesGenerate:
+    """probe_fields() is the vectorized twin of generate(): same count,
+    same times, same source ports, for any window — including
+    float-rounding-hostile (start, end, interval) combinations where
+    the naive ceil() formula is off by one."""
+
+    @staticmethod
+    def _check(probe, start_s, end_s):
+        times, ports = probe.probe_fields(start_s, end_s)
+        packets = list(probe.generate(start_s, end_s))
+        assert len(times) == len(ports) == len(packets)
+        assert [float(t) for t in times] == [p.time_s for p in packets]
+        assert [int(p) for p in ports] == \
+            [p.packet.flow.src_port for p in packets]
+
+    def test_hostile_literals(self):
+        # 0.003 and 0.1 are not exactly representable; these windows sit
+        # on accumulated-rounding boundaries where ceil() misfires.
+        probe = PingProbe(VIPS[0], interval_s=0.003)
+        for start, end in [
+            (0.0, 0.03), (0.0, 0.003), (0.0, 0.0030000000000000005),
+            (0.3, 0.3 + 29 * 0.003), (1.0, 1.0 + 1e-9),
+            (0.1, 0.1), (0.7, 0.1),
+        ]:
+            self._check(probe, start, end)
+
+    def test_property_randomized(self):
+        from hypothesis import given, settings, strategies as st
+
+        intervals = st.one_of(
+            st.sampled_from([0.003, 0.1, 1 / 3, 0.0001, 7e-5]),
+            st.floats(min_value=1e-4, max_value=0.5,
+                      allow_nan=False, allow_infinity=False),
+        )
+        starts = st.one_of(
+            st.sampled_from([0.0, 0.1, 0.3, 1e6, 123.456]),
+            st.floats(min_value=0.0, max_value=1e3,
+                      allow_nan=False, allow_infinity=False),
+        )
+        spans = st.one_of(
+            # Multiples of the interval (the hostile case) arrive via
+            # the shared strategy below; plain spans here.
+            st.floats(min_value=0.0, max_value=2.0,
+                      allow_nan=False, allow_infinity=False),
+            st.integers(min_value=0, max_value=500),
+        )
+
+        @given(interval=intervals, start=starts, span=spans,
+               seed=st.integers(min_value=0, max_value=10))
+        @settings(max_examples=200, deadline=None)
+        def run(interval, start, span, seed):
+            probe = PingProbe(VIPS[0], interval_s=interval, seed=seed)
+            # Integer spans mean "span probes": end lands exactly on a
+            # probe tick, the worst case for the ceil() formula.
+            end = (
+                start + span * interval if isinstance(span, int)
+                else start + span
+            )
+            if not (end - start) / interval < 5000:
+                return  # keep generate() affordable
+            self._check(probe, start, end)
+
+        run()

@@ -157,3 +157,100 @@ class TestCpuUtilization:
     def test_negative_rejected(self):
         with pytest.raises(ValueError):
             smux_cpu_utilization(-1.0)
+
+
+def _linear_offered_load(station: MuxStation, t: float) -> float:
+    """Reference linear scan (the pre-bisect implementation)."""
+    for phase in station.phases:
+        if phase.start_s <= t < phase.end_s:
+            return phase.rate_pps
+    return 0.0
+
+
+def _linear_backlog(station: MuxStation, t: float) -> float:
+    """Reference phase-by-phase backlog walk (the pre-bisect
+    implementation), kept verbatim so the differential test pins the
+    O(log n) rewrite to the exact float operations of the original."""
+    backlog = 0.0
+    prev_end = None
+    for index, phase in enumerate(station.phases):
+        if t < phase.start_s:
+            break
+        backlog = station._backlog_at_start[index]
+        horizon = min(t, phase.end_s)
+        net = phase.rate_pps - station.capacity_pps
+        backlog += net * (horizon - phase.start_s)
+        backlog = min(station.buffer_packets, max(0.0, backlog))
+        prev_end = phase.end_s
+        if t < phase.end_s:
+            return backlog
+    if prev_end is not None and t >= prev_end:
+        drain = (t - prev_end) * station.capacity_pps
+        backlog = max(0.0, backlog - drain)
+    return backlog
+
+
+def _random_schedule(rng: random.Random) -> list:
+    """Non-overlapping phases with random gaps (sometimes zero-width
+    back-to-back boundaries) and random over/under-load rates."""
+    phases = []
+    t = rng.uniform(0.0, 2.0)
+    for _ in range(rng.randrange(1, 12)):
+        if rng.random() < 0.4:
+            t += rng.uniform(0.0, 3.0)  # idle gap before this phase
+        duration = rng.uniform(0.05, 4.0)
+        phases.append(LoadPhase(t, t + duration, rng.uniform(0.0, 400_000.0)))
+        t += duration
+    return phases
+
+
+class TestBisectMatchesLinearScan:
+    """The O(log n) phase lookup must be bit-identical to the linear
+    scan it replaced, including gaps, boundaries, and out-of-range t."""
+
+    def _probe_times(self, station: MuxStation, rng: random.Random):
+        times = [-1.0, 0.0]
+        for phase in station.phases:
+            # Exact boundaries plus nudges just inside/outside.
+            for edge in (phase.start_s, phase.end_s):
+                times.extend([edge, edge - 1e-12, edge + 1e-12])
+            times.append((phase.start_s + phase.end_s) / 2)
+        end = station.phases[-1].end_s
+        times.extend(rng.uniform(-2.0, end + 5.0) for _ in range(200))
+        return times
+
+    def test_offered_load_bit_identical(self):
+        rng = random.Random(1234)
+        for _ in range(50):
+            station = smux_station(_random_schedule(rng))
+            for t in self._probe_times(station, rng):
+                assert station.offered_load_at(t) == \
+                    _linear_offered_load(station, t)
+
+    def test_backlog_bit_identical(self):
+        rng = random.Random(5678)
+        for _ in range(50):
+            station = smux_station(_random_schedule(rng))
+            for t in self._probe_times(station, rng):
+                assert station.backlog_at(t) == _linear_backlog(station, t)
+
+    def test_latency_sample_requires_rng(self):
+        station = smux_station([LoadPhase(0, 10, 1000.0)])
+        with pytest.raises(TypeError):
+            station.latency_sample(5.0)
+
+    def test_latency_sample_caller_rng_isolated(self):
+        # Two stations, one shared seeded RNG stream each: identical
+        # draws regardless of any other station's activity.
+        phases = [LoadPhase(0, 10, 1000.0)]
+        a = smux_station(phases)
+        b = smux_station(phases)
+        other = smux_station([LoadPhase(0, 10, 250_000.0)])
+        rng_a, rng_b = random.Random(7), random.Random(7)
+        noise = random.Random(99)
+        samples_a = []
+        for _ in range(32):
+            samples_a.append(a.latency_sample(5.0, rng_a))
+            other.latency_sample(5.0, noise)  # must not perturb a/b
+        samples_b = [b.latency_sample(5.0, rng_b) for _ in range(32)]
+        assert samples_a == samples_b

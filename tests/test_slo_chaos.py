@@ -49,13 +49,13 @@ def _run(seed: int, inject_faults: bool = True):
 
 @pytest.fixture(scope="module")
 def corpus():
-    """Run the full fault-injecting corpus once; every aggregate
-    assertion reads from this cache."""
-    reports = []
-    for seed in range(N_SEEDS):
-        report = _run(seed)
-        reports.append(report)
-    return reports
+    """Run the full fault-injecting corpus once (sharded over workers
+    when REPRO_FLEET_WORKERS / the CPU count allows); every aggregate
+    assertion reads from this cache.  pool_map_reports returns reports
+    in seed order, identical to the serial loop."""
+    from repro.fleet import pool_map_reports
+
+    return pool_map_reports([_config(seed) for seed in range(N_SEEDS)])
 
 
 class TestSoakCorpus:
